@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet fuzz bench paper quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short fuzz pass over the property surfaces (codec, cache ops).
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzReader -fuzztime=30s ./internal/trace/
+	$(GO) test -run=Fuzz -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/trace/
+	$(GO) test -run=Fuzz -fuzz=FuzzCacheOps -fuzztime=30s ./internal/cache/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure of the paper at full scale.
+paper:
+	$(GO) run ./cmd/paperexp -exp all -time
+
+# The same, at reduced scale for a fast smoke pass.
+quick:
+	$(GO) run ./cmd/paperexp -exp all -scale 0.1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/strided
+	$(GO) run ./examples/filtering
+	$(GO) run ./examples/cachecompare
+	$(GO) run ./examples/timing
+
+clean:
+	$(GO) clean ./...

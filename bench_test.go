@@ -1,0 +1,345 @@
+// Package bench is the paper's benchmark harness: one testing.B
+// benchmark per evaluation table and figure (regenerating the artefact
+// at a reduced trace scale and reporting its headline metric), the
+// ablation benches DESIGN.md calls out, and microbenchmarks of the
+// simulator's hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The artefact benches report custom metrics (hit rates, EB) via
+// b.ReportMetric, so `-bench` output doubles as a compact results
+// summary. For full-scale tables use cmd/paperexp.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"streamsim/internal/cache"
+	"streamsim/internal/core"
+	"streamsim/internal/experiments"
+	"streamsim/internal/filter"
+	"streamsim/internal/mem"
+	"streamsim/internal/stream"
+	"streamsim/internal/workload"
+)
+
+// benchScale keeps each artefact bench iteration around a second.
+const benchScale = 0.1
+
+// benchOpts are shared by the artefact benches.
+var benchOpts = experiments.Options{Scale: benchScale}
+
+// runExperiment is the shared body of the per-artefact benches.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (benchmark characteristics).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig3 regenerates Figure 3 (hit rate vs number of streams).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkTable2 regenerates Table 2 (extra bandwidth of ordinary
+// streams).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig5 regenerates Figure 5 (filter effect on hit rate/EB).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkTable3 regenerates Table 3 (stream length distribution).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig8 regenerates Figure 8 (non-unit stride detection).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (czone size sensitivity).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkTable4 regenerates Table 4 (streams vs secondary cache).
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// --- ablation benches -------------------------------------------------
+
+// ablationWorkloads are a representative spread: one long-stream code,
+// one short-stream code, one strided code, one irregular code.
+var ablationWorkloads = []string{"mgrid", "appbt", "fftpde", "bdna"}
+
+// runAblation traces each ablation workload through cfg and reports
+// the mean stream hit rate as a custom metric.
+func runAblation(b *testing.B, cfg core.Config) {
+	b.Helper()
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		hit = 0
+		for _, name := range ablationWorkloads {
+			w, err := workload.New(name, workload.SizeSmall)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Run(sys, benchScale); err != nil {
+				b.Fatal(err)
+			}
+			hit += sys.Results().StreamHitRate()
+		}
+		hit /= float64(len(ablationWorkloads))
+	}
+	b.ReportMetric(hit, "hit%")
+}
+
+// BenchmarkAblationDepth sweeps the stream FIFO depth the paper fixes
+// at two. Depth only matters against memory latency ("a stream should
+// be deep enough so that it can cover the main memory latency"), so
+// this ablation models a 30-reference prefetch latency and reports the
+// ready-hit rate: hits whose data had actually returned.
+func BenchmarkAblationDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Streams = stream.Config{Streams: 10, Depth: depth, Latency: 30}
+			var ready float64
+			for i := 0; i < b.N; i++ {
+				ready = 0
+				for _, name := range ablationWorkloads {
+					w, err := workload.New(name, workload.SizeSmall)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sys, err := core.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Run(sys, benchScale); err != nil {
+						b.Fatal(err)
+					}
+					r := sys.Results()
+					if r.Streams.Probes > 0 {
+						ready += 100 * float64(r.Streams.Hits-r.Streams.PendingHits) /
+							float64(r.Streams.Probes)
+					}
+				}
+				ready /= float64(len(ablationWorkloads))
+			}
+			b.ReportMetric(ready, "ready-hit%")
+		})
+	}
+}
+
+// BenchmarkAblationFilterSize sweeps the unit-stride filter size
+// around the paper's 8-16 sweet spot.
+func BenchmarkAblationFilterSize(b *testing.B) {
+	for _, size := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.UnitFilterEntries = size
+			runAblation(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationFilterOrder compares the paper's arrangement (czone
+// filter behind the unit-stride filter) with the czone scheme alone.
+func BenchmarkAblationFilterOrder(b *testing.B) {
+	b.Run("czone-behind-unit-filter", func(b *testing.B) {
+		runAblation(b, core.DefaultConfig())
+	})
+	b.Run("czone-alone", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.UnitFilterEntries = 0
+		runAblation(b, cfg)
+	})
+}
+
+// BenchmarkAblationRealloc compares LRU stream reallocation (the
+// paper's policy) with FIFO.
+func BenchmarkAblationRealloc(b *testing.B) {
+	for _, pol := range []stream.Realloc{stream.ReallocLRU, stream.ReallocFIFO} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Streams.Realloc = pol
+			runAblation(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationMinDelta compares the czone partition scheme with
+// the minimum-delta alternative the paper rejected on hardware cost.
+func BenchmarkAblationMinDelta(b *testing.B) {
+	b.Run("czone", func(b *testing.B) {
+		runAblation(b, core.DefaultConfig())
+	})
+	b.Run("min-delta", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Stride = core.MinDeltaScheme
+		runAblation(b, cfg)
+	})
+}
+
+// BenchmarkAblationPartitioned verifies the paper's finding that
+// partitioned instruction/data streams (the MacroTek arrangement) are
+// not beneficial: the large on-chip instruction cache leaves too few
+// instruction misses to justify a second set.
+func BenchmarkAblationPartitioned(b *testing.B) {
+	for _, part := range []bool{false, true} {
+		name := "unified"
+		if part {
+			name = "partitioned"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.PartitionedStreams = part
+			runAblation(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationVictimDM measures Jouppi's victim cache on a
+// direct-mapped L1 (the configuration the paper's 4-way choice
+// sidesteps): the victim buffer recovers conflict misses the streams
+// cannot.
+func BenchmarkAblationVictimDM(b *testing.B) {
+	for _, entries := range []int{0, 4, 16} {
+		b.Run(fmt.Sprintf("victim=%d", entries), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.L1I.Assoc = 1
+			cfg.L1I.Replacement = cache.LRU
+			cfg.L1D.Assoc = 1
+			cfg.L1D.Replacement = cache.LRU
+			cfg.VictimEntries = entries
+			var miss float64
+			for i := 0; i < b.N; i++ {
+				miss = 0
+				for _, name := range ablationWorkloads {
+					w, err := workload.New(name, workload.SizeSmall)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sys, err := core.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Run(sys, benchScale); err != nil {
+						b.Fatal(err)
+					}
+					r := sys.Results()
+					// Effective miss rate: misses the victim cache
+					// could not recover.
+					if r.L1D.Accesses > 0 {
+						miss += 100 * float64(r.L1D.Misses-r.VictimD.Hits) /
+							float64(r.L1D.Accesses)
+					}
+				}
+				miss /= float64(len(ablationWorkloads))
+			}
+			b.ReportMetric(miss, "eff-miss%")
+		})
+	}
+}
+
+// --- microbenchmarks ---------------------------------------------------
+
+// BenchmarkCacheAccess measures the set-associative lookup hot path.
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.New(cache.Config{
+		Name: "L1D", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 64,
+		Replacement: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(uint64(i%4096) * 64)
+	}
+}
+
+// BenchmarkStreamProbe measures the multi-way head-compare path on a
+// hitting stream.
+func BenchmarkStreamProbe(b *testing.B) {
+	s, err := stream.NewSet(mem.DefaultGeometry(), stream.Config{Streams: 10, Depth: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.AllocateUnit(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Probe(mem.Addr(i + 1)) {
+			b.Fatal("bench stream broke")
+		}
+	}
+}
+
+// BenchmarkUnitFilterLookup measures the filter's history search.
+func BenchmarkUnitFilterLookup(b *testing.B) {
+	f, err := filter.NewUnitStride(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Lookup(mem.Addr(i * 977)) // never consecutive: worst case
+	}
+}
+
+// BenchmarkCzoneObserve measures the non-unit-stride FSM.
+func BenchmarkCzoneObserve(b *testing.B) {
+	f, err := filter.NewNonUnitStride(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(mem.Addr(1<<20 + i*300))
+	}
+}
+
+// BenchmarkSystemThroughput measures full-system references per second
+// on a mixed (sweep + scatter) synthetic stream.
+func BenchmarkSystemThroughput(b *testing.B) {
+	sys, err := core.New(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(1<<24 + i*8)
+		if i&7 == 0 {
+			a = mem.Addr(1<<26 + (i*7919)&(1<<22-1))
+		}
+		sys.Access(mem.Access{Addr: a, Kind: mem.Read})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace-generation speed (the
+// front half of every experiment).
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := workload.New("mgrid", workload.SizeSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := core.New(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Run(sys, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

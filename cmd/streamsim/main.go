@@ -1,0 +1,179 @@
+// Command streamsim runs one benchmark workload through a configured
+// stream-buffer memory system and prints the paper's metrics: L1
+// behaviour, stream hit rate, extra bandwidth and the stream-length
+// distribution.
+//
+// Usage:
+//
+//	streamsim -workload mgrid [-streams 10] [-depth 2] [-filter 16]
+//	          [-stride czone|mindelta|none] [-czone 16] [-size small|large]
+//	          [-assoc 4] [-victim 0] [-partitioned] [-scale 1.0] [-v]
+//
+// With -workload all, every Table 1 benchmark is run in sequence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"streamsim/internal/config"
+	"streamsim/internal/core"
+	"streamsim/internal/stream"
+	"streamsim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "streamsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes; separated from main for testing.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("streamsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name    = fs.String("workload", "", "benchmark name from the paper's Table 1, or 'all'")
+		streams = fs.Int("streams", 10, "number of stream buffers (0 disables streams)")
+		depth   = fs.Int("depth", 2, "stream buffer FIFO depth")
+		filt    = fs.Int("filter", 16, "unit-stride filter entries (0 disables)")
+		stride  = fs.String("stride", "czone", "non-unit-stride scheme: czone, mindelta or none")
+		czone   = fs.Uint("czone", 16, "czone size in word-address bits")
+		sizeStr = fs.String("size", "small", "input size: small or large (Table 4 benchmarks only)")
+		scale   = fs.Float64("scale", 1.0, "iteration scale factor in (0, 1]")
+		part    = fs.Bool("partitioned", false, "separate instruction and data stream sets (MacroTek style)")
+		vic     = fs.Int("victim", 0, "victim cache entries per L1 (0 disables)")
+		assoc   = fs.Uint("assoc", 4, "L1 associativity (1 = direct-mapped)")
+		cfgPath = fs.String("config", "", "JSON configuration file (flags given explicitly override it)")
+		verbose = fs.Bool("v", false, "print the full statistics breakdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *name == "" {
+		fmt.Fprintln(stderr, "available benchmarks:")
+		for _, n := range workload.Names() {
+			fmt.Fprintf(stderr, "  %s\n", n)
+		}
+		return fmt.Errorf("-workload is required")
+	}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = workload.Names()
+	}
+
+	size := workload.SizeSmall
+	switch *sizeStr {
+	case "small":
+	case "large":
+		size = workload.SizeLarge
+	default:
+		return fmt.Errorf("unknown size %q (small or large)", *sizeStr)
+	}
+
+	cfg := core.DefaultConfig()
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = config.Load(*cfgPath); err != nil {
+			return err
+		}
+	}
+	// Flags the user actually typed override the file (or, without a
+	// file, configure the default system).
+	set := func(name string) bool { return *cfgPath == "" || explicit[name] }
+	if set("streams") || set("depth") {
+		cfg.Streams = stream.Config{Streams: *streams, Depth: *depth}
+	}
+	if set("partitioned") {
+		cfg.PartitionedStreams = *part && cfg.Streams.Streams > 0
+	}
+	if set("victim") {
+		cfg.VictimEntries = *vic
+	}
+	if set("assoc") {
+		cfg.L1I.Assoc = *assoc
+		cfg.L1D.Assoc = *assoc
+	}
+	if cfg.Streams.Streams == 0 {
+		cfg.Streams = stream.Config{}
+		cfg.UnitFilterEntries = 0
+		cfg.Stride = core.NoStrideDetection
+	} else {
+		if set("filter") {
+			cfg.UnitFilterEntries = *filt
+		}
+		if set("czone") {
+			cfg.CzoneBits = *czone
+		}
+		if set("stride") {
+			switch *stride {
+			case "czone":
+				cfg.Stride = core.CzoneScheme
+			case "mindelta":
+				cfg.Stride = core.MinDeltaScheme
+			case "none":
+				cfg.Stride = core.NoStrideDetection
+			default:
+				return fmt.Errorf("unknown stride scheme %q (czone, mindelta or none)", *stride)
+			}
+		}
+	}
+	if *verbose {
+		fmt.Fprintln(stdout, "system:", config.Describe(cfg))
+	}
+
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tD-miss%\tMPI%\thit%\tEB%\tprobes\tallocs\tshort%\tlong%")
+	for _, n := range names {
+		w, err := workload.New(n, size)
+		if err != nil {
+			return err
+		}
+		sys, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := w.Run(sys, *scale); err != nil {
+			return err
+		}
+		r := sys.Results()
+		dist := r.Streams.Lengths.Percent()
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.1f\t%.1f\t%d\t%d\t%.0f\t%.0f\n",
+			n, r.DataMissRate(), r.MPI(), r.StreamHitRate(), r.ExtraBandwidth(),
+			r.Streams.Probes, r.Streams.Allocations, dist[0], dist[4])
+		if *verbose {
+			tw.Flush()
+			printVerbose(stdout, r)
+		}
+	}
+	return tw.Flush()
+}
+
+// printVerbose dumps the full statistics of one run.
+func printVerbose(w io.Writer, r core.Results) {
+	fmt.Fprintf(w, "  L1I: %+v\n", r.L1I)
+	fmt.Fprintf(w, "  L1D: %+v\n", r.L1D)
+	fmt.Fprintf(w, "  streams: %+v\n", r.Streams)
+	if r.StreamsI.Probes > 0 {
+		fmt.Fprintf(w, "  streams (I): %+v\n", r.StreamsI)
+		fmt.Fprintf(w, "  streams (D): %+v\n", r.StreamsD)
+	}
+	if r.VictimD.Probes > 0 || r.VictimI.Probes > 0 {
+		fmt.Fprintf(w, "  victim (I): %+v\n", r.VictimI)
+		fmt.Fprintf(w, "  victim (D): %+v\n", r.VictimD)
+	}
+	fmt.Fprintf(w, "  unit filter: %+v\n", r.UnitFilter)
+	fmt.Fprintf(w, "  czone filter: %+v\n", r.CzoneFilter)
+	fmt.Fprintf(w, "  min-delta: %+v\n", r.MinDelta)
+	fmt.Fprintf(w, "  bandwidth: %+v  traffic=%d required=%d\n",
+		r.Bandwidth, r.MemoryTraffic(), r.RequiredTraffic())
+	fmt.Fprintf(w, "  instructions: %d\n", r.Instructions)
+}

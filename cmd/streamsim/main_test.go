@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMissingWorkloadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Fatal("missing -workload should fail")
+	}
+	if !strings.Contains(errb.String(), "mgrid") {
+		t.Error("error path should list available benchmarks")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "nosuch"}, &out, &errb); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestBadSize(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "mgrid", "-size", "huge"}, &out, &errb); err == nil {
+		t.Fatal("bad size should fail")
+	}
+}
+
+func TestBadStrideScheme(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "mgrid", "-stride", "magic"}, &out, &errb); err == nil {
+		t.Fatal("bad stride scheme should fail")
+	}
+}
+
+func TestSingleBenchmarkRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-workload", "is", "-scale", "0.05"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "benchmark") || !strings.Contains(s, "is") {
+		t.Errorf("output missing table:\n%s", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 2 {
+		t.Errorf("want header + one row:\n%s", s)
+	}
+}
+
+func TestStreamsDisabled(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-workload", "is", "-streams", "0", "-scale", "0.05"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hit rate column should be 0.0 with streams off.
+	if !strings.Contains(out.String(), "0.0") {
+		t.Errorf("expected zero hit rate:\n%s", out.String())
+	}
+}
+
+func TestVerboseOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-workload", "is", "-scale", "0.05", "-v"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"L1D:", "streams:", "bandwidth:", "instructions:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose output missing %q", want)
+		}
+	}
+}
+
+func TestVictimAndPartitionedFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-workload", "is", "-scale", "0.05",
+		"-assoc", "1", "-victim", "4", "-partitioned"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "is") {
+		t.Error("run with victim/partitioned flags produced no row")
+	}
+}
+
+func TestMinDeltaScheme(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "trfd", "-stride", "mindelta", "-scale", "0.05"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigFileWithOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"preset": "section5", "streams": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	// -filter typed explicitly overrides the file's no-filter preset.
+	err := run([]string{"-workload", "is", "-scale", "0.05",
+		"-config", path, "-filter", "16", "-v"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "16-entry filter") {
+		t.Errorf("explicit -filter should override the file:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "2 streams") {
+		t.Errorf("file's stream count should survive:\n%s", out.String())
+	}
+}
+
+func TestConfigFileMissing(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "is", "-config", "/no/such.json"}, &out, &errb); err == nil {
+		t.Fatal("missing config file should fail")
+	}
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func doRun(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+func TestRequiredFlags(t *testing.T) {
+	if _, err := doRun(t); err == nil {
+		t.Fatal("missing flags should fail")
+	}
+	if _, err := doRun(t, "-workload", "is", "-param", "streams"); err == nil {
+		t.Fatal("missing -values should fail")
+	}
+}
+
+func TestUnknownParam(t *testing.T) {
+	_, err := doRun(t, "-workload", "is", "-param", "warp", "-values", "1")
+	if err == nil || !strings.Contains(err.Error(), "streams") {
+		t.Fatalf("unknown param error should list options, got %v", err)
+	}
+}
+
+func TestBadValues(t *testing.T) {
+	if _, err := doRun(t, "-workload", "is", "-param", "streams", "-values", "1,two"); err == nil {
+		t.Fatal("non-integer value should fail")
+	}
+}
+
+func TestUnknownMetric(t *testing.T) {
+	if _, err := doRun(t, "-workload", "is", "-param", "streams",
+		"-values", "1", "-metric", "joy", "-scale", "0.05"); err == nil {
+		t.Fatal("unknown metric should fail")
+	}
+}
+
+func TestStreamsSweep(t *testing.T) {
+	out, err := doRun(t, "-workload", "is", "-param", "streams",
+		"-values", "1,4,10", "-scale", "0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hit vs streams") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 6 {
+		t.Errorf("expected 3 data rows:\n%s", out)
+	}
+}
+
+func TestCzoneSweepWithPlot(t *testing.T) {
+	out, err := doRun(t, "-workload", "custom:0,1,0", "-param", "czone",
+		"-values", "8,12,16", "-plot", "-scale", "0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+--") {
+		t.Errorf("plot frame missing:\n%s", out)
+	}
+}
+
+func TestCustomMix(t *testing.T) {
+	out, err := doRun(t, "-workload", "custom:1,0,0", "-param", "streams",
+		"-values", "2", "-scale", "0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure sequential: near-100% hit.
+	if !strings.Contains(out, "100.0") && !strings.Contains(out, "99.") {
+		t.Errorf("custom sequential sweep output:\n%s", out)
+	}
+}
+
+func TestCustomMixMalformed(t *testing.T) {
+	if _, err := doRun(t, "-workload", "custom:1,2", "-param", "streams",
+		"-values", "2"); err == nil {
+		t.Fatal("two-share custom mix should fail")
+	}
+}
+
+func TestCPIMetric(t *testing.T) {
+	out, err := doRun(t, "-workload", "is", "-param", "depth",
+		"-values", "1,4", "-metric", "cpi", "-scale", "0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cpi vs depth") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestZeroStreamsRejected(t *testing.T) {
+	if _, err := doRun(t, "-workload", "is", "-param", "streams",
+		"-values", "0", "-scale", "0.05"); err == nil {
+		t.Fatal("streams=0 in a sweep should fail")
+	}
+}
+
+func TestEBMetricAndVictimParam(t *testing.T) {
+	out, err := doRun(t, "-workload", "is", "-param", "victim",
+		"-values", "0,8", "-metric", "eb", "-scale", "0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "eb vs victim") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestLatencyAndFilterParams(t *testing.T) {
+	if _, err := doRun(t, "-workload", "is", "-param", "latency",
+		"-values", "0,50", "-scale", "0.05"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doRun(t, "-workload", "is", "-param", "filter",
+		"-values", "0,16", "-metric", "eb", "-scale", "0.05"); err != nil {
+		t.Fatal(err)
+	}
+	// Negative latency and zero czone are rejected by the mutators.
+	if _, err := doRun(t, "-workload", "is", "-param", "latency",
+		"-values", "-5", "-scale", "0.05"); err == nil {
+		t.Fatal("negative latency should fail")
+	}
+	if _, err := doRun(t, "-workload", "is", "-param", "czone",
+		"-values", "0", "-scale", "0.05"); err == nil {
+		t.Fatal("zero czone should fail")
+	}
+	if _, err := doRun(t, "-workload", "is", "-param", "assoc",
+		"-values", "0", "-scale", "0.05"); err == nil {
+		t.Fatal("zero associativity should fail")
+	}
+}
+
+func TestMissRateMetricAndSizeFlag(t *testing.T) {
+	if _, err := doRun(t, "-workload", "mgrid", "-param", "assoc",
+		"-values", "1,4", "-metric", "missrate", "-size", "large", "-scale", "0.02"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doRun(t, "-workload", "mgrid", "-param", "assoc",
+		"-values", "1", "-size", "gigantic"); err == nil {
+		t.Fatal("bad size should fail")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNoModeFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Fatal("no mode flag should fail")
+	}
+}
+
+func TestRecordRequiresOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "is"}, &out, &errb); err == nil {
+		t.Fatal("-workload without -o should fail")
+	}
+}
+
+func TestRecordInfoReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "is.trace")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "is", "-o", path, "-scale", "0.05"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "time-sampled") {
+		t.Errorf("record output missing sampling note: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-info", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "accesses") {
+		t.Errorf("info output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-replay", path}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "stream hit rate") {
+		t.Errorf("replay output: %s", out.String())
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "is.trace.gz")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "is", "-o", path, "-scale", "0.05", "-full"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "time-sampled") {
+		t.Error("-full should disable sampling")
+	}
+	out.Reset()
+	if err := run([]string{"-replay", path}, &out, &errb); err != nil {
+		t.Fatalf("gzipped replay: %v", err)
+	}
+	if !strings.Contains(out.String(), "stream hit rate") {
+		t.Errorf("replay output: %s", out.String())
+	}
+}
+
+func TestBadSizeRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "is", "-o", path, "-size", "jumbo"}, &out, &errb); err == nil {
+		t.Fatal("bad size should fail")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-replay", "/nonexistent/x.trace"}, &out, &errb); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestInfoRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := writeFile(path, []byte("not a trace")); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-info", path}, &out, &errb); err == nil {
+		t.Fatal("garbage file should fail header validation")
+	}
+}
+
+// writeFile is a tiny helper (os.WriteFile with default mode).
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,94 @@
+// Cachecompare: the paper's Section 8 argument in one program — as a
+// scientific workload's data set grows, a secondary cache needs to
+// grow with it to keep its hit rate, while a handful of stream buffers
+// (a few hundred bytes of SRAM) keeps performing.
+//
+//	go run ./examples/cachecompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamsim/internal/cache"
+	"streamsim/internal/core"
+	"streamsim/internal/mem"
+)
+
+// stencilPass sweeps a 3-array Jacobi update over n doubles per array:
+// the regular access pattern of the paper's scientific codes.
+func stencilPass(access func(mem.Access), elems int) {
+	a := mem.Addr(1 << 24)
+	b := a + mem.Addr(elems*8+4096)
+	c := b + mem.Addr(elems*8+8192)
+	for r := 0; r < 2; r++ {
+		for i := 1; i < elems-1; i++ {
+			access(mem.Access{Addr: a + mem.Addr(i*8), Kind: mem.Read})
+			access(mem.Access{Addr: b + mem.Addr(i*8), Kind: mem.Read})
+			access(mem.Access{Addr: c + mem.Addr(i*8), Kind: mem.Write})
+		}
+	}
+}
+
+// streamHitRate runs the stencil against the paper's stream system.
+func streamHitRate(elems int) float64 {
+	sys, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stencilPass(sys.Access, elems)
+	return sys.Results().StreamHitRate()
+}
+
+// l2HitRate runs the stencil's L1 miss stream against a secondary
+// cache of the given size.
+func l2HitRate(elems int, l2Bytes uint) float64 {
+	cfg := core.DefaultConfig()
+	l1, err := cache.New(cfg.L1D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l2, err := cache.New(cache.Config{
+		Name: "L2", SizeBytes: l2Bytes, Assoc: 4, BlockBytes: 64,
+		Replacement: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stencilPass(func(a mem.Access) {
+		var res cache.Result
+		if a.Kind == mem.Write {
+			res = l1.Write(uint64(a.Addr))
+		} else {
+			res = l1.Read(uint64(a.Addr))
+		}
+		if res.Hit {
+			return
+		}
+		if res.WroteBack {
+			l2.Write(res.VictimBlock << 6)
+		}
+		l2.Read(uint64(cfg.Geometry.BlockBase(a.Addr)))
+	}, elems)
+	return 100 * l2.Stats().HitRate()
+}
+
+func main() {
+	fmt.Println("Jacobi stencil over three arrays, two passes; hit rates on the")
+	fmt.Println("L1 miss stream (the paper's Section 8 comparison):")
+	fmt.Println()
+	fmt.Printf("%-12s %12s %10s %10s %10s %10s\n",
+		"data set", "streams", "L2 256K", "L2 1M", "L2 4M", "L2 16M")
+	for _, elems := range []int{1 << 17, 1 << 19, 1 << 21, 1 << 23} {
+		dataMB := float64(3*elems*8) / (1 << 20)
+		fmt.Printf("%9.0f MB %11.1f%%", dataMB, streamHitRate(elems))
+		for _, l2 := range []uint{256 << 10, 1 << 20, 4 << 20, 16 << 20} {
+			fmt.Printf(" %9.1f%%", l2HitRate(elems, l2))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("The second pass re-reads data evicted long ago, so the cache only")
+	fmt.Println("helps once the whole data set fits; the stream buffers exploit the")
+	fmt.Println("regular access pattern at any data-set size (the paper's Table 4).")
+}

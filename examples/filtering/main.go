@@ -1,0 +1,69 @@
+// Filtering: show how the Section 6 unit-stride filter cuts the
+// memory bandwidth wasted by speculative prefetching on a workload
+// that mixes streaming with pointer chasing.
+//
+//	go run ./examples/filtering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"streamsim/internal/core"
+	"streamsim/internal/mem"
+	"streamsim/internal/stream"
+)
+
+// mixedWorkload interleaves a sequential sweep (streams love it) with
+// random pointer chasing (every miss is isolated; prefetching it is
+// pure waste).
+func mixedWorkload(sys *core.System) {
+	rng := rand.New(rand.NewSource(7))
+	seq := mem.Addr(1 << 24)
+	heap := mem.Addr(1 << 26)
+	const heapBytes = 16 << 20
+	for i := 0; i < 1<<20; i++ {
+		// One streaming reference...
+		sys.Access(mem.Access{Addr: seq + mem.Addr(i*8), Kind: mem.Read})
+		// ...and one pointer dereference somewhere in a 16 MB heap.
+		p := mem.Addr(rng.Int63n(heapBytes)) &^ 7
+		sys.Access(mem.Access{Addr: heap + p, Kind: mem.Read})
+		sys.AddInstructions(12)
+	}
+}
+
+func run(filterEntries int) core.Results {
+	cfg := core.DefaultConfig()
+	cfg.Streams = stream.Config{Streams: 10, Depth: 2}
+	cfg.UnitFilterEntries = filterEntries
+	cfg.Stride = core.NoStrideDetection
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixedWorkload(sys)
+	return sys.Results()
+}
+
+func main() {
+	plain := run(0)
+	filtered := run(16)
+
+	fmt.Println("workload: alternating sequential sweep / random pointer chase")
+	fmt.Println()
+	fmt.Printf("%-22s %12s %12s\n", "", "no filter", "16-entry filter")
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "stream hit rate",
+		plain.StreamHitRate(), filtered.StreamHitRate())
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "extra bandwidth (EB)",
+		plain.ExtraBandwidth(), filtered.ExtraBandwidth())
+	fmt.Printf("%-22s %12d %12d\n", "stream allocations",
+		plain.Streams.Allocations, filtered.Streams.Allocations)
+	fmt.Printf("%-22s %12d %12d\n", "wasted prefetches",
+		plain.Streams.PrefetchesWasted, filtered.Streams.PrefetchesWasted)
+	fmt.Println()
+	fmt.Println("Without the filter, every random miss flushes a stream and issues")
+	fmt.Println("prefetches that are never used. The filter allocates a stream only")
+	fmt.Println("after two misses to consecutive blocks, so the pointer chase stops")
+	fmt.Println("polluting the buffers while the sequential sweep still streams.")
+}

@@ -1,0 +1,88 @@
+// Timing: put numbers on the paper's cost argument — run the same
+// stencil kernel against a bare L1 system, the paper's stream-buffer
+// system, and the streams without their filter, on machines with more
+// and less memory bandwidth, and report execution time.
+//
+//	go run ./examples/timing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamsim/internal/core"
+	"streamsim/internal/mem"
+	"streamsim/internal/stream"
+	"streamsim/internal/timing"
+)
+
+// kernel is a three-array Jacobi pass over 2 MB per array, plus a
+// scattered table lookup every few points (the reference mix that
+// makes unfiltered prefetching expensive).
+func kernel(m *timing.Model) {
+	a := mem.Addr(1 << 24)
+	b := mem.Addr(1<<24 + 5<<20)
+	c := mem.Addr(1<<24 + 10<<20)
+	table := mem.Addr(1 << 30)
+	const elems = 256 << 10
+	for i := 1; i < elems-1; i++ {
+		m.Access(mem.Access{Addr: a + mem.Addr(i*8), Kind: mem.Read})
+		m.Access(mem.Access{Addr: b + mem.Addr(i*8), Kind: mem.Read})
+		if i%3 == 0 {
+			// A scattered lookup: streams can't help, prefetching it
+			// only burns bus cycles.
+			m.Access(mem.Access{Addr: table + mem.Addr((i*7919)%(8<<20))&^7, Kind: mem.Read})
+		}
+		m.Access(mem.Access{Addr: c + mem.Addr(i*8), Kind: mem.Write})
+		m.AddInstructions(14)
+	}
+}
+
+// run builds a system and reports its CPI.
+func run(cfg core.Config, lat timing.Latencies) timing.Stats {
+	m, err := timing.New(cfg, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel(m)
+	return m.Stats()
+}
+
+func main() {
+	bare := core.DefaultConfig()
+	bare.Streams = stream.Config{}
+	bare.UnitFilterEntries = 0
+	bare.Stride = core.NoStrideDetection
+
+	unfiltered := core.DefaultConfig()
+	unfiltered.UnitFilterEntries = 0
+	unfiltered.Stride = core.NoStrideDetection
+
+	filtered := core.DefaultConfig()
+
+	for _, bus := range []struct {
+		name   string
+		cycles uint64
+	}{
+		{"ample bandwidth (2-cycle bus blocks)", 2},
+		{"scarce bandwidth (24-cycle bus blocks)", 24},
+	} {
+		lat := timing.DefaultLatencies()
+		lat.BusBlock = bus.cycles
+		b := run(bare, lat)
+		u := run(unfiltered, lat)
+		f := run(filtered, lat)
+		fmt.Printf("%s:\n", bus.name)
+		fmt.Printf("  %-28s CPI %.2f\n", "no streams", b.CPI())
+		fmt.Printf("  %-28s CPI %.2f  (bus-wait %4.1f%%)\n", "streams, no filter", u.CPI(),
+			100*float64(u.BusWaitCycles)/float64(u.Cycles))
+		fmt.Printf("  %-28s CPI %.2f  (bus-wait %4.1f%%)\n", "streams + filter (paper)", f.CPI(),
+			100*float64(f.BusWaitCycles)/float64(f.Cycles))
+		fmt.Printf("  speedup over bare: %.2fx\n\n", b.CPI()/f.CPI())
+	}
+	fmt.Println("With bandwidth to spare, filtered and unfiltered streams perform")
+	fmt.Println("alike. When the bus is the bottleneck, the unfiltered system's")
+	fmt.Println("wasted prefetches (Table 2's extra bandwidth) turn into bus-wait")
+	fmt.Println("stalls on every demand miss — the situation the Section 6 filter")
+	fmt.Println("exists for.")
+}

@@ -1,0 +1,3 @@
+module streamsim
+
+go 1.22

@@ -1,0 +1,134 @@
+package bench
+
+// End-to-end integration tests across module boundaries: the paths a
+// user strings together (workload -> trace file -> simulator,
+// config -> system -> experiment metrics).
+
+import (
+	"bytes"
+	"testing"
+
+	"streamsim/internal/config"
+	"streamsim/internal/core"
+	"streamsim/internal/trace"
+	"streamsim/internal/workload"
+)
+
+// TestTraceFileRoundTripMatchesDirectRun verifies that recording a
+// benchmark to the binary trace format and replaying it produces
+// byte-identical simulator results to running the benchmark directly
+// (modulo instruction counts folded into records and the PC field the
+// format drops — neither of which the off-chip hardware consumes).
+func TestTraceFileRoundTripMatchesDirectRun(t *testing.T) {
+	w, err := workload.New("is", workload.SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct run.
+	direct, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(direct, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Through the codec.
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	if err := w.Run(tw, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Replay(replayed); err != nil {
+		t.Fatal(err)
+	}
+
+	dr, rr := direct.Results(), replayed.Results()
+	if dr.Streams != rr.Streams {
+		t.Errorf("stream stats diverge:\n direct  %+v\n replayed %+v", dr.Streams, rr.Streams)
+	}
+	if dr.L1D != rr.L1D {
+		t.Errorf("L1D stats diverge:\n direct  %+v\n replayed %+v", dr.L1D, rr.L1D)
+	}
+	if dr.Instructions != rr.Instructions {
+		t.Errorf("instruction counts diverge: %d vs %d", dr.Instructions, rr.Instructions)
+	}
+}
+
+// TestConfigPresetsMatchExperimentConfigs ties the config package's
+// named presets to the behaviour the experiments measure: section5
+// (no filter) must waste more bandwidth than section6 (filtered) on
+// the same trace.
+func TestConfigPresetsMatchExperimentConfigs(t *testing.T) {
+	w, err := workload.New("trfd", workload.SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := func(preset string) float64 {
+		t.Helper()
+		cfg, err := config.Read(bytes.NewReader([]byte(`{"preset": "` + preset + `"}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(sys, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Results().ExtraBandwidth()
+	}
+	plain, filtered := eb("section5"), eb("section6")
+	if filtered >= plain/2 {
+		t.Errorf("section6 EB %.1f should be far below section5 EB %.1f (trfd: 96%% -> 11%% in the paper)",
+			filtered, plain)
+	}
+}
+
+// TestSampledTraceApproximatesFullTrace checks the paper's
+// methodological bet: a 10%-time-sampled trace estimates the full
+// trace's stream hit rate within a few points.
+func TestSampledTraceApproximatesFullTrace(t *testing.T) {
+	w, err := workload.New("cgm", workload.SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(full, 0.2); err != nil {
+		t.Fatal(err)
+	}
+
+	sampledSys, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := trace.NewTimeSampler(sampledSys, trace.DefaultOnRefs, trace.DefaultOffRefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(sampler, 0.2); err != nil {
+		t.Fatal(err)
+	}
+
+	fh := full.Results().StreamHitRate()
+	sh := sampledSys.Results().StreamHitRate()
+	if diff := fh - sh; diff < -8 || diff > 8 {
+		t.Errorf("sampled hit rate %.1f vs full %.1f: time sampling should track within ~8 points", sh, fh)
+	}
+}

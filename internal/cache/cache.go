@@ -1,0 +1,472 @@
+// Package cache implements a set-associative cache model with the
+// structural knobs the paper exercises: size, associativity, block
+// size, LRU/random/FIFO replacement, write-back or write-through
+// handling, write-allocate or no-write-allocate, and set sampling for
+// fast secondary-cache hit-rate estimation (Kessler, Hill & Wood's
+// technique, cited as [11] in the paper).
+//
+// The model is purely functional with respect to data: it tracks tags,
+// valid and dirty bits but not contents, which is all a hit-rate and
+// bandwidth study needs.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Replacement selects the victim way on a miss in a full set.
+type Replacement uint8
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used way.
+	LRU Replacement = iota
+	// Random evicts a uniformly random way (the paper's on-chip caches
+	// use random replacement).
+	Random
+	// FIFO evicts the oldest-filled way regardless of use.
+	FIFO
+)
+
+// String returns the policy name.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case Random:
+		return "random"
+	case FIFO:
+		return "FIFO"
+	default:
+		return fmt.Sprintf("Replacement(%d)", uint8(r))
+	}
+}
+
+// WritePolicy selects how stores that hit are propagated.
+type WritePolicy uint8
+
+// Write policies.
+const (
+	// WriteBack marks the block dirty and writes it to memory only on
+	// eviction (the paper's data cache policy).
+	WriteBack WritePolicy = iota
+	// WriteThrough sends every store to memory immediately.
+	WriteThrough
+)
+
+// String returns the policy name.
+func (w WritePolicy) String() string {
+	if w == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// AllocPolicy selects whether a store miss fills the cache.
+type AllocPolicy uint8
+
+// Allocation policies.
+const (
+	// WriteAllocate fills the block on a store miss (the paper's data
+	// cache policy).
+	WriteAllocate AllocPolicy = iota
+	// NoWriteAllocate sends the store to memory without filling.
+	NoWriteAllocate
+)
+
+// String returns the policy name.
+func (a AllocPolicy) String() string {
+	if a == WriteAllocate {
+		return "write-allocate"
+	}
+	return "no-write-allocate"
+}
+
+// Config describes a cache instance.
+type Config struct {
+	// Name labels the cache in stats output (e.g. "L1D").
+	Name string
+	// SizeBytes is the total capacity. Must be a power of two.
+	SizeBytes uint
+	// Assoc is the number of ways per set. Must be a power of two and
+	// divide SizeBytes/BlockBytes.
+	Assoc uint
+	// BlockBytes is the line size. Must be a power of two.
+	BlockBytes uint
+	// Replacement is the victim-selection policy.
+	Replacement Replacement
+	// Write is the store propagation policy.
+	Write WritePolicy
+	// Alloc is the store-miss fill policy.
+	Alloc AllocPolicy
+	// SampleEvery enables set sampling when > 1: only sets whose index
+	// is divisible by SampleEvery are simulated; accesses to other sets
+	// are ignored and reported as unsampled. Hit rates from the sampled
+	// sets estimate the full cache's (the paper uses this for its
+	// multi-megabyte secondary caches). 0 or 1 simulates every set.
+	SampleEvery uint
+	// Seed drives the Random replacement policy. Ignored otherwise.
+	Seed int64
+}
+
+// line is one way of one set.
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	lastUse  uint64 // LRU timestamp
+	filledAt uint64 // FIFO timestamp
+}
+
+// Stats accumulates the observable behaviour of a cache. For a sampled
+// cache the counts cover only the sampled sets.
+type Stats struct {
+	// Accesses is the number of sampled references presented.
+	Accesses uint64
+	// Hits is the number of sampled references that hit.
+	Hits uint64
+	// Misses is Accesses - Hits.
+	Misses uint64
+	// ReadMisses and WriteMisses split Misses by reference type.
+	ReadMisses  uint64
+	WriteMisses uint64
+	// WriteBacks counts dirty evictions (write-back caches) or
+	// propagated stores (write-through caches).
+	WriteBacks uint64
+	// Fills counts blocks brought in from the next level by demand
+	// accesses.
+	Fills uint64
+	// PrefetchFills counts blocks installed by Prefetch.
+	PrefetchFills uint64
+	// Unsampled counts references skipped by set sampling.
+	Unsampled uint64
+}
+
+// HitRate returns Hits/Accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Result reports what a single access did.
+type Result struct {
+	// Sampled is false when set sampling skipped the reference; every
+	// other field is then meaningless.
+	Sampled bool
+	// Hit reports whether the reference hit.
+	Hit bool
+	// Filled reports whether a block was brought in.
+	Filled bool
+	// Evicted reports whether a valid line was displaced by the fill
+	// (clean or dirty — victim caches want both).
+	Evicted bool
+	// EvictedDirty reports whether the displaced line was dirty.
+	EvictedDirty bool
+	// WroteBack reports whether a dirty victim was written to memory
+	// (always equal to Evicted && EvictedDirty for write-back caches).
+	WroteBack bool
+	// VictimBlock is the displaced line's block address when Evicted.
+	VictimBlock uint64
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	numSets    uint
+	blockShift uint
+	setMask    uint64
+	clock      uint64
+	rng        *rand.Rand
+	stats      Stats
+}
+
+// New validates cfg and builds the cache.
+func New(cfg Config) (*Cache, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / cfg.BlockBytes / cfg.Assoc
+	c := &Cache{
+		cfg:        cfg,
+		numSets:    numSets,
+		blockShift: log2(cfg.BlockBytes),
+		setMask:    uint64(numSets - 1),
+		sets:       make([][]line, numSets),
+	}
+	lines := make([]line, numSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i], lines = lines[:cfg.Assoc:cfg.Assoc], lines[cfg.Assoc:]
+	}
+	if cfg.Replacement == Random {
+		c.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return c, nil
+}
+
+func validate(cfg Config) error {
+	pow2 := func(v uint) bool { return v != 0 && v&(v-1) == 0 }
+	switch {
+	case !pow2(cfg.BlockBytes):
+		return fmt.Errorf("cache %s: block size %d not a power of two", cfg.Name, cfg.BlockBytes)
+	case !pow2(cfg.SizeBytes):
+		return fmt.Errorf("cache %s: size %d not a power of two", cfg.Name, cfg.SizeBytes)
+	case !pow2(cfg.Assoc):
+		return fmt.Errorf("cache %s: associativity %d not a power of two", cfg.Name, cfg.Assoc)
+	case cfg.SizeBytes < cfg.BlockBytes*cfg.Assoc:
+		return fmt.Errorf("cache %s: size %d too small for %d ways of %d-byte blocks",
+			cfg.Name, cfg.SizeBytes, cfg.Assoc, cfg.BlockBytes)
+	}
+	return nil
+}
+
+func log2(v uint) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() uint { return c.numSets }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// index splits a byte address into set index and tag.
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.blockShift
+	return blk & c.setMask, blk >> log2size(c.numSets)
+}
+
+func log2size(v uint) uint { return log2(v) }
+
+// sampled reports whether set sampling includes this set.
+func (c *Cache) sampled(set uint64) bool {
+	return c.cfg.SampleEvery <= 1 || set%uint64(c.cfg.SampleEvery) == 0
+}
+
+// Read presents a load at addr.
+func (c *Cache) Read(addr uint64) Result { return c.access(addr, false) }
+
+// Write presents a store at addr.
+func (c *Cache) Write(addr uint64) Result { return c.access(addr, true) }
+
+// access is the common hit/miss/fill path.
+func (c *Cache) access(addr uint64, write bool) Result {
+	set, tag := c.index(addr)
+	if !c.sampled(set) {
+		c.stats.Unsampled++
+		return Result{}
+	}
+	c.clock++
+	c.stats.Accesses++
+	ways := c.sets[set]
+
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == tag {
+			c.stats.Hits++
+			w.lastUse = c.clock
+			if write {
+				if c.cfg.Write == WriteBack {
+					w.dirty = true
+				} else {
+					c.stats.WriteBacks++
+				}
+			}
+			return Result{Sampled: true, Hit: true}
+		}
+	}
+
+	// Miss.
+	c.stats.Misses++
+	if write {
+		c.stats.WriteMisses++
+	} else {
+		c.stats.ReadMisses++
+	}
+
+	if write && c.cfg.Alloc == NoWriteAllocate {
+		c.stats.WriteBacks++
+		return Result{Sampled: true}
+	}
+
+	res := Result{Sampled: true, Filled: true}
+	victim := c.pickVictim(ways)
+	w := &ways[victim]
+	if w.valid {
+		res.Evicted = true
+		res.VictimBlock = c.victimBlock(set, w.tag)
+		if w.dirty {
+			res.EvictedDirty = true
+			res.WroteBack = true
+			c.stats.WriteBacks++
+		}
+	}
+	w.tag = tag
+	w.valid = true
+	w.dirty = write && c.cfg.Write == WriteBack
+	if write && c.cfg.Write == WriteThrough {
+		c.stats.WriteBacks++
+	}
+	w.lastUse = c.clock
+	w.filledAt = c.clock
+	c.stats.Fills++
+	return res
+}
+
+// victimBlock reconstructs the block address of an evicted line.
+func (c *Cache) victimBlock(set, tag uint64) uint64 {
+	return tag<<log2size(c.numSets) | set
+}
+
+// pickVictim chooses the way to evict, preferring invalid ways.
+func (c *Cache) pickVictim(ways []line) int {
+	for i := range ways {
+		if !ways[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Replacement {
+	case Random:
+		return c.rng.Intn(len(ways))
+	case FIFO:
+		best, bestAt := 0, ways[0].filledAt
+		for i := 1; i < len(ways); i++ {
+			if ways[i].filledAt < bestAt {
+				best, bestAt = i, ways[i].filledAt
+			}
+		}
+		return best
+	default: // LRU
+		best, bestAt := 0, ways[0].lastUse
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lastUse < bestAt {
+				best, bestAt = i, ways[i].lastUse
+			}
+		}
+		return best
+	}
+}
+
+// Prefetch installs the block holding addr without counting a demand
+// access: the side door used by the on-chip prefetcher baselines
+// (internal/prefetch). If the block is already resident nothing
+// happens and Filled is false; otherwise the fill and any eviction are
+// handled exactly as for a demand miss (the victim's write-back is
+// reported so the caller can account the traffic). Replacement state
+// is updated so prefetched blocks age like fetched ones.
+func (c *Cache) Prefetch(addr uint64) Result {
+	set, tag := c.index(addr)
+	if !c.sampled(set) {
+		return Result{}
+	}
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return Result{Sampled: true, Hit: true}
+		}
+	}
+	c.clock++
+	res := Result{Sampled: true, Filled: true}
+	victim := c.pickVictim(ways)
+	w := &ways[victim]
+	if w.valid {
+		res.Evicted = true
+		res.VictimBlock = c.victimBlock(set, w.tag)
+		if w.dirty {
+			res.EvictedDirty = true
+			res.WroteBack = true
+			c.stats.WriteBacks++
+		}
+	}
+	*w = line{tag: tag, valid: true, lastUse: c.clock, filledAt: c.clock}
+	c.stats.PrefetchFills++
+	return res
+}
+
+// SetDirty marks the resident block holding addr dirty, reporting
+// whether it was found. Victim-cache integration uses this to restore
+// the dirty state of a line swapped back from the victim buffer.
+func (c *Cache) SetDirty(addr uint64) bool {
+	set, tag := c.index(addr)
+	if !c.sampled(set) {
+		return false
+	}
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			w.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the block holding addr is resident. Sampled
+// caches report false for unsampled sets.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	if !c.sampled(set) {
+		return false
+	}
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the block holding addr if resident, returning
+// whether it was present and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	if !c.sampled(set) {
+		return false, false
+	}
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			present, dirty = true, w.dirty
+			w.valid = false
+			w.dirty = false
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line, counting dirty lines as write-backs.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if w.valid && w.dirty {
+				c.stats.WriteBacks++
+			}
+			*w = line{}
+		}
+	}
+}

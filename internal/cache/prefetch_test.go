@@ -1,0 +1,93 @@
+package cache
+
+import "testing"
+
+func TestPrefetchFillsWithoutDemandStats(t *testing.T) {
+	c := small(t)
+	res := c.Prefetch(0x1000)
+	if !res.Filled || res.Hit {
+		t.Fatalf("cold prefetch result = %+v, want a fill", res)
+	}
+	s := c.Stats()
+	if s.Accesses != 0 || s.Misses != 0 {
+		t.Errorf("prefetch polluted demand stats: %+v", s)
+	}
+	if s.PrefetchFills != 1 {
+		t.Errorf("PrefetchFills = %d, want 1", s.PrefetchFills)
+	}
+	if !c.Contains(0x1000) {
+		t.Error("prefetched block not resident")
+	}
+	if r := c.Read(0x1000); !r.Hit {
+		t.Error("demand access after prefetch should hit")
+	}
+}
+
+func TestPrefetchResidentNoop(t *testing.T) {
+	c := small(t)
+	c.Read(0x1000)
+	res := c.Prefetch(0x1000)
+	if res.Filled || !res.Hit {
+		t.Errorf("prefetch of resident block = %+v, want hit/no-fill", res)
+	}
+	if got := c.Stats().PrefetchFills; got != 0 {
+		t.Errorf("PrefetchFills = %d, want 0", got)
+	}
+}
+
+func TestPrefetchEvictsAndReportsWriteBack(t *testing.T) {
+	c := small(t)          // 4-set direct-mapped, 256 B
+	c.Write(0)             // dirty block 0 in set 0
+	res := c.Prefetch(256) // same set
+	if !res.Evicted || !res.WroteBack || res.VictimBlock != 0 {
+		t.Errorf("prefetch eviction = %+v, want dirty victim block 0", res)
+	}
+	if got := c.Stats().WriteBacks; got != 1 {
+		t.Errorf("WriteBacks = %d, want 1", got)
+	}
+}
+
+func TestPrefetchRespectsSetSampling(t *testing.T) {
+	c, err := New(Config{SizeBytes: 16 * 64, Assoc: 1, BlockBytes: 64,
+		Replacement: LRU, Write: WriteBack, Alloc: WriteAllocate, SampleEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := c.Prefetch(64); res.Sampled { // set 1: unsampled
+		t.Error("prefetch into an unsampled set should be skipped")
+	}
+	if res := c.Prefetch(0); !res.Sampled || !res.Filled {
+		t.Error("prefetch into a sampled set should fill")
+	}
+}
+
+func TestPrefetchedBlockAges(t *testing.T) {
+	// A prefetched block participates in LRU like any other line.
+	c, err := New(Config{SizeBytes: 2 * 64, Assoc: 2, BlockBytes: 64,
+		Replacement: LRU, Write: WriteBack, Alloc: WriteAllocate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Prefetch(0) // oldest
+	c.Read(64)    // newer
+	c.Read(128)   // evicts the prefetched 0
+	if c.Contains(0) {
+		t.Error("stale prefetched block should be the LRU victim")
+	}
+}
+
+func TestSetDirty(t *testing.T) {
+	c := small(t)
+	if c.SetDirty(0x1000) {
+		t.Error("SetDirty on absent block should report false")
+	}
+	c.Read(0x1000)
+	if !c.SetDirty(0x1000) {
+		t.Fatal("SetDirty on resident block should succeed")
+	}
+	// Evicting it must now write back.
+	res := c.Read(0x1000 + 4096)
+	if !res.WroteBack {
+		t.Error("block marked dirty via SetDirty did not write back")
+	}
+}

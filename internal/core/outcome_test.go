@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"streamsim/internal/mem"
+)
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{
+		LevelUnsampled: "unsampled",
+		LevelL1:        "L1",
+		LevelVictim:    "victim",
+		LevelStream:    "stream",
+		LevelMemory:    "memory",
+		LevelNone:      "none",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, got, want)
+		}
+	}
+	if Level(99).String() == "" {
+		t.Error("unknown level should still format")
+	}
+}
+
+func TestAccessOutcomeLevels(t *testing.T) {
+	s := mustNew(t, tinyConfig(2))
+	a := mem.Addr(1 << 20)
+
+	out := s.AccessOutcome(mem.Access{Addr: a, Kind: mem.Read})
+	if out.Level != LevelMemory {
+		t.Errorf("cold miss level = %v, want memory", out.Level)
+	}
+	out = s.AccessOutcome(mem.Access{Addr: a, Kind: mem.Read})
+	if out.Level != LevelL1 {
+		t.Errorf("repeat access level = %v, want L1", out.Level)
+	}
+	out = s.AccessOutcome(mem.Access{Addr: a + 64, Kind: mem.Read})
+	if out.Level != LevelStream {
+		t.Errorf("prefetched block level = %v, want stream", out.Level)
+	}
+}
+
+func TestAccessOutcomeVictimLevel(t *testing.T) {
+	cfg := tinyConfig(2)
+	cfg.VictimEntries = 4
+	s := mustNew(t, cfg)
+	a, b := mem.Addr(1<<20), mem.Addr(1<<20+4096) // conflicting set
+	s.Access(mem.Access{Addr: a, Kind: mem.Read})
+	s.Access(mem.Access{Addr: b, Kind: mem.Read}) // evicts a into victim
+	out := s.AccessOutcome(mem.Access{Addr: a, Kind: mem.Read})
+	if out.Level != LevelVictim {
+		t.Errorf("level = %v, want victim", out.Level)
+	}
+}
+
+func TestAccessOutcomePrefetchCount(t *testing.T) {
+	s := mustNew(t, tinyConfig(2))
+	out := s.AccessOutcome(mem.Access{Addr: 1 << 20, Kind: mem.Read})
+	if out.Prefetches != 2 {
+		t.Errorf("allocation issued %d prefetches, want 2 (depth)", out.Prefetches)
+	}
+	out = s.AccessOutcome(mem.Access{Addr: 1<<20 + 64, Kind: mem.Read})
+	if out.Prefetches != 1 {
+		t.Errorf("stream hit issued %d prefetches, want 1 (refill)", out.Prefetches)
+	}
+}
+
+func TestAccessOutcomeWriteBack(t *testing.T) {
+	s := mustNew(t, tinyConfig(0))
+	a := mem.Addr(1 << 20)
+	s.Access(mem.Access{Addr: a, Kind: mem.Write})
+	out := s.AccessOutcome(mem.Access{Addr: a + 4096, Kind: mem.Read})
+	if !out.WroteBack {
+		t.Error("dirty eviction not reported in outcome")
+	}
+}
+
+func TestAccessOutcomePending(t *testing.T) {
+	cfg := tinyConfig(1)
+	cfg.Streams.Latency = 1000
+	s := mustNew(t, cfg)
+	s.Access(mem.Access{Addr: 1 << 20, Kind: mem.Read})
+	out := s.AccessOutcome(mem.Access{Addr: 1<<20 + 64, Kind: mem.Read})
+	if out.Level != LevelStream || !out.Pending {
+		t.Errorf("outcome = %+v, want pending stream hit", out)
+	}
+}
+
+func TestTrafficHooksSeeAllBlocks(t *testing.T) {
+	cfg := tinyConfig(2)
+	var demand, prefetch int
+	cfg.OnMemoryTraffic = func(mem.Addr) { demand++ }
+	cfg.Streams.OnPrefetch = func(mem.Addr) { prefetch++ }
+	s := mustNew(t, cfg)
+	sweep(s, 1<<20, 200)
+	r := s.Results()
+	if uint64(demand) != r.Bandwidth.DemandFetches+r.Bandwidth.WriteBacks {
+		t.Errorf("demand hook saw %d, ledger has %d fetches + %d write-backs",
+			demand, r.Bandwidth.DemandFetches, r.Bandwidth.WriteBacks)
+	}
+	if uint64(prefetch) != r.Streams.PrefetchesIssued {
+		t.Errorf("prefetch hook saw %d, ledger has %d", prefetch, r.Streams.PrefetchesIssued)
+	}
+}

@@ -1,0 +1,67 @@
+// Chart conversion: the figure experiments can render as ASCII line
+// charts (`paperexp -plot`) in addition to their data tables.
+package experiments
+
+import (
+	"strconv"
+
+	"streamsim/internal/plot"
+	"streamsim/internal/tab"
+)
+
+// chartable marks the experiments that are line charts in the paper
+// and selects which benchmarks to draw (all 15 curves of Figure 3
+// would be unreadable; the paper splits them over two graphs, we pick
+// the representative spread).
+var chartable = map[string]struct {
+	xLabel, yLabel string
+	rows           map[string]bool // nil = all rows
+}{
+	"fig3": {
+		xLabel: "number of streams", yLabel: "stream hit rate (%)",
+		rows: map[string]bool{
+			"embar": true, "mgrid": true, "cgm": true, "appbt": true,
+			"fftpde": true, "adm": true, "trfd": true,
+		},
+	},
+	"fig9": {
+		xLabel: "czone size (bits)", yLabel: "stream hit rate (%)",
+	},
+}
+
+// ChartFor converts a rendered figure table into a line chart. ok is
+// false for experiments that are not line figures.
+func ChartFor(id string, t *tab.Table) (*plot.Chart, bool) {
+	spec, isChart := chartable[id]
+	if !isChart {
+		return nil, false
+	}
+	c := &plot.Chart{
+		Title:  t.Title,
+		XLabel: spec.xLabel,
+		YLabel: spec.yLabel,
+		XTicks: append([]string(nil), t.Columns[1:]...),
+		YMin:   0,
+		YMax:   100,
+		Height: 22,
+	}
+	for _, row := range t.Rows {
+		if len(row) < 2 {
+			continue
+		}
+		name := row[0]
+		if spec.rows != nil && !spec.rows[name] {
+			continue
+		}
+		s := plot.Series{Name: name}
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				continue
+			}
+			s.Values = append(s.Values, v)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c, true
+}

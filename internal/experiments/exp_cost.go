@@ -1,0 +1,118 @@
+// Extension experiment: the paper's conclusion as a measurement. "The
+// cost savings of stream buffers over large caches can be applied to
+// increase the main memory bandwidth, resulting in a system with
+// better overall performance" — this experiment builds both nodes at
+// equal cost and times them.
+package experiments
+
+import (
+	"streamsim/internal/cache"
+	"streamsim/internal/cost"
+	"streamsim/internal/tab"
+	"streamsim/internal/timing"
+	"streamsim/internal/workload"
+)
+
+// costClockMHz is the modelled processor clock.
+const costClockMHz = 100
+
+// EqualCost compares, per benchmark, a conventional node (1 MB L2,
+// baseline bandwidth) against an equal-cost stream node whose L2
+// savings were spent on memory bandwidth. Registered as "extcost".
+func EqualCost(opt Options) (*tab.Table, error) {
+	opt = opt.withDefaults()
+	prices := cost.DefaultPrices()
+	l2Node := cost.Node{L2KB: 1 << 10, BandwidthMBps: 300}
+	streamNode, err := prices.EqualCostBandwidth(l2Node, cost.Node{Streams: 10, Filtered: true})
+	if err != nil {
+		return nil, err
+	}
+	l2Bus, err := cost.BusBlockCycles(l2Node, costClockMHz, 64)
+	if err != nil {
+		return nil, err
+	}
+	streamBus, err := cost.BusBlockCycles(streamNode, costClockMHz, 64)
+	if err != nil {
+		return nil, err
+	}
+	l2Cost, err := prices.Cost(l2Node)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &tab.Table{
+		Title: "Extension: equal-cost nodes — 1 MB L2 vs streams + extra bandwidth",
+		Columns: []string{
+			"benchmark", "CPI L2 node", "CPI stream node", "stream speedup",
+		},
+		Notes: []string{
+			tab.F(l2Node.BandwidthMBps) + " MB/s + 1 MB L2 versus " +
+				tab.F(streamNode.BandwidthMBps) + " MB/s + 10 filtered streams, both $" + tab.F(l2Cost),
+			"the paper's conclusion: spend the SRAM dollars on bandwidth instead",
+		},
+	}
+
+	names := workload.Names()
+	cells := make([][2]float64, len(names))
+	err = runParallel(len(names), func(i int) error {
+		name := names[i]
+		size := table1Size(name)
+		tr, err := record(name, size, opt.Scale)
+		if err != nil {
+			return err
+		}
+
+		latL2 := timing.DefaultLatencies()
+		latL2.BusBlock = l2Bus
+		l2cfg := cache.Config{
+			Name: "L2", SizeBytes: uint(l2Node.L2KB) << 10, Assoc: 4, BlockBytes: 64,
+			Replacement: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+		}
+		ml2, err := timing.NewWithL2(noStreams(), l2cfg, latL2)
+		if err != nil {
+			return err
+		}
+		replayTimed(ml2, tr)
+
+		latS := timing.DefaultLatencies()
+		latS.BusBlock = streamBus
+		ms, err := timing.New(stridedStreams(16), latS)
+		if err != nil {
+			return err
+		}
+		replayTimed(ms, tr)
+
+		cells[i] = [2]float64{ml2.Stats().CPI(), ms.Stats().CPI()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		l2CPI, sCPI := cells[i][0], cells[i][1]
+		speedup := 0.0
+		if sCPI > 0 {
+			speedup = l2CPI / sCPI
+		}
+		t.AddRow(name, tab.F2(l2CPI), tab.F2(sCPI), tab.F2(speedup))
+	}
+	return t, nil
+}
+
+// replayTimed feeds a recorded trace into a timing model, spreading
+// the instruction count across the accesses.
+func replayTimed(m *timing.Model, tr *recorded) {
+	perAccess := uint64(0)
+	if n := uint64(len(tr.accs)); n > 0 {
+		perAccess = tr.insts / n
+	}
+	var spent uint64
+	for _, a := range tr.accs {
+		m.Access(a)
+		m.AddInstructions(perAccess)
+		spent += perAccess
+	}
+	if tr.insts > spent {
+		m.AddInstructions(tr.insts - spent)
+	}
+}

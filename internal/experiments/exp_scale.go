@@ -1,0 +1,93 @@
+// Extension experiment: the paper's opening motivation, quantified.
+// "Memory system efficiency is particularly critical within the
+// context of large-scale parallel machines (1K processors or more)
+// because the costs of any inefficiencies are magnified by the scale
+// of the system." Each processor's wasted prefetch bandwidth is
+// multiplied by the processor count, so the unit-stride filter buys
+// scalability directly: this experiment computes how many processors
+// a fixed shared memory system sustains with and without it.
+package experiments
+
+import (
+	"streamsim/internal/tab"
+	"streamsim/internal/timing"
+	"streamsim/internal/workload"
+)
+
+// sharedMemoryBlocksPerKilocycle is the modelled machine-wide memory
+// capacity: 250 block transfers per 1000 processor cycles (a T3D-class
+// interconnect serving the whole partition).
+const sharedMemoryBlocksPerKilocycle = 250.0
+
+// trafficRate returns a configuration's memory-traffic demand in
+// blocks per kilocycle, from a timed run.
+func trafficRate(st timing.Stats, traffic uint64) float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return 1000 * float64(traffic) / float64(st.Cycles)
+}
+
+// Scalability compares how many processors the shared memory sustains
+// per benchmark for unfiltered versus filtered streams. Registered as
+// "extscale".
+func Scalability(opt Options) (*tab.Table, error) {
+	opt = opt.withDefaults()
+	t := &tab.Table{
+		Title: "Extension: processors sustained by a fixed shared memory system",
+		Columns: []string{
+			"benchmark", "blk/kcy unfiltered", "blk/kcy filtered",
+			"procs unfiltered", "procs filtered", "gain",
+		},
+		Notes: []string{
+			"demand per processor in blocks per 1000 cycles; capacity 250 blk/kcy;",
+			"procs = capacity / per-processor demand — the EB saved by the filter",
+			"multiplies straight into machine size (the paper's 1K-node argument)",
+		},
+	}
+	lat := timing.DefaultLatencies()
+	lat.BusBlock = 0 // per-node latency only; the shared capacity is the analysis
+	names := workload.Names()
+	cells := make([][2]float64, len(names))
+	err := runParallel(len(names), func(i int) error {
+		name := names[i]
+		size := table1Size(name)
+		tr, err := record(name, size, opt.Scale)
+		if err != nil {
+			return err
+		}
+		for j, cfg := range []struct{ filtered bool }{{false}, {true}} {
+			c := plainStreams(10)
+			if cfg.filtered {
+				c = stridedStreams(16)
+			}
+			m, err := timing.New(c, lat)
+			if err != nil {
+				return err
+			}
+			replayTimed(m, tr)
+			cells[i][j] = trafficRate(m.Stats(), m.Results().MemoryTraffic())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		un, fi := cells[i][0], cells[i][1]
+		pu, pf := 0.0, 0.0
+		if un > 0 {
+			pu = sharedMemoryBlocksPerKilocycle / un
+		}
+		if fi > 0 {
+			pf = sharedMemoryBlocksPerKilocycle / fi
+		}
+		gain := 0.0
+		if pu > 0 {
+			gain = pf / pu
+		}
+		t.AddRow(name, tab.F(un), tab.F(fi),
+			tab.F(pu), tab.F(pf), tab.F2(gain))
+	}
+	return t, nil
+}

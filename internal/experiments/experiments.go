@@ -1,0 +1,314 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each experiment returns a tab.Table whose rows
+// carry both the measured values and, where the paper prints a number,
+// the published value for side-by-side comparison.
+//
+// Workload traces are recorded once per (benchmark, size) and replayed
+// across memory-system configurations, exactly as the paper replays
+// its Shade traces through different simulator settings.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"streamsim/internal/cache"
+	"streamsim/internal/core"
+	"streamsim/internal/mem"
+	"streamsim/internal/stream"
+	"streamsim/internal/tab"
+	"streamsim/internal/workload"
+)
+
+// Options tune how expensively the experiments run.
+type Options struct {
+	// Scale is the workload iteration scale in (0, 1]; 1 reproduces
+	// the full traces, smaller values run faster for smoke tests.
+	Scale float64
+	// Streams overrides nothing; experiments fix their own memory
+	// system configurations per the paper.
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// Experiment identifies one paper artefact.
+type Experiment struct {
+	// ID is the harness name (e.g. "fig3", "table4").
+	ID string
+	// Paper names the artefact in the paper.
+	Paper string
+	// Run executes the experiment.
+	Run func(Options) (*tab.Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: benchmark characteristics", Table1},
+		{"fig3", "Figure 3: hit rate vs number of streams", Figure3},
+		{"table2", "Table 2: extra bandwidth of ordinary streams", Table2},
+		{"fig5", "Figure 5: filter effect on hit rate and EB", Figure5},
+		{"table3", "Table 3: stream length distribution", Table3},
+		{"fig8", "Figure 8: non-unit stride detection", Figure8},
+		{"fig9", "Figure 9: hit rate vs czone size", Figure9},
+		{"table4", "Table 4: streams versus secondary cache", Table4},
+		{"extcpi", "Extension: effective CPI under a timing model", CPI},
+		{"extbase", "Extension: OBL and RPT prefetcher baselines", Baselines},
+		{"extcost", "Extension: equal-cost L2 node vs stream node", EqualCost},
+		{"extscale", "Extension: shared-memory scalability with and without the filter", Scalability},
+		{"extbank", "Extension: interleaved-memory bank behaviour of the traffic", BankBehaviour},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// table1Size returns the input size each benchmark is traced at for
+// the single-input experiments (Tables 1-3, Figures 3-9). The paper's
+// Table 1 inputs correspond to SizeLarge for the three NAS solvers it
+// lists at bigger grids; everything else runs its small input.
+func table1Size(name string) workload.Size {
+	switch name {
+	case "appsp", "appbt", "applu":
+		return workload.SizeLarge
+	default:
+		return workload.SizeSmall
+	}
+}
+
+// recorded is an in-memory trace: the reference stream and retired
+// instruction count of one workload run.
+type recorded struct {
+	accs  []mem.Access
+	insts uint64
+}
+
+// Access implements workload.Sink.
+func (r *recorded) Access(a mem.Access) { r.accs = append(r.accs, a) }
+
+// AddInstructions implements workload.Sink.
+func (r *recorded) AddInstructions(n uint64) { r.insts += n }
+
+// replay feeds the trace into a memory system.
+func (r *recorded) replay(sys *core.System) {
+	for _, a := range r.accs {
+		sys.Access(a)
+	}
+	sys.AddInstructions(r.insts)
+}
+
+// traceCache memoizes recorded traces per (name, size, scale) so a
+// multi-configuration experiment generates each workload once.
+var traceCache sync.Map
+
+type traceKey struct {
+	name  string
+	size  workload.Size
+	scale float64
+}
+
+// record returns the (possibly cached) trace of a benchmark.
+func record(name string, size workload.Size, scale float64) (*recorded, error) {
+	key := traceKey{name, size, scale}
+	if v, ok := traceCache.Load(key); ok {
+		return v.(*recorded), nil
+	}
+	w, err := workload.New(name, size)
+	if err != nil {
+		return nil, err
+	}
+	r := &recorded{}
+	if err := w.Run(r, scale); err != nil {
+		return nil, err
+	}
+	v, _ := traceCache.LoadOrStore(key, r)
+	return v.(*recorded), nil
+}
+
+// ResetTraceCache drops memoized traces (used by benchmarks that want
+// to measure generation cost).
+func ResetTraceCache() { traceCache = sync.Map{} }
+
+// runParallel executes fn(0..n-1) across up to GOMAXPROCS workers and
+// returns the first error. Each simulation run builds its own System,
+// so runs are independent; only the memoized trace caches are shared
+// (they are concurrency-safe).
+func runParallel(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Memory-system configuration builders, named after the paper's setups.
+
+// plainStreams is Section 5: n streams of depth 2, no filters.
+func plainStreams(n int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Streams = stream.Config{Streams: n, Depth: 2}
+	cfg.UnitFilterEntries = 0
+	cfg.Stride = core.NoStrideDetection
+	return cfg
+}
+
+// filteredStreams is Section 6: 10 streams behind a 16-entry
+// unit-stride filter.
+func filteredStreams() core.Config {
+	cfg := plainStreams(10)
+	cfg.UnitFilterEntries = 16
+	return cfg
+}
+
+// stridedStreams is Section 7: the filtered configuration plus a
+// 16-entry non-unit-stride (czone) filter.
+func stridedStreams(czoneBits uint) core.Config {
+	cfg := filteredStreams()
+	cfg.Stride = core.CzoneScheme
+	cfg.StrideFilterEntries = 16
+	cfg.CzoneBits = czoneBits
+	return cfg
+}
+
+// noStreams is the bare L1 + memory system used for Table 1.
+func noStreams() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Streams = stream.Config{}
+	cfg.UnitFilterEntries = 0
+	cfg.Stride = core.NoStrideDetection
+	return cfg
+}
+
+// runConfig replays a benchmark trace through a configuration.
+func runConfig(name string, size workload.Size, scale float64, cfg core.Config) (core.Results, error) {
+	tr, err := record(name, size, scale)
+	if err != nil {
+		return core.Results{}, err
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return core.Results{}, err
+	}
+	tr.replay(sys)
+	return sys.Results(), nil
+}
+
+// l2MissStream is the L1 miss-side traffic of one trace: the block
+// fills and write-backs that a secondary cache would observe. It is
+// recorded once and replayed across L2 configurations (Table 4).
+type l2MissStream struct {
+	events []l2Event
+}
+
+type l2Event struct {
+	addr  mem.Addr
+	write bool // write-back of a dirty victim
+}
+
+// l2StreamCache memoizes miss streams per (name, size, scale).
+var l2StreamCache sync.Map
+
+// missStream derives the L1 miss traffic of a benchmark trace.
+func missStream(name string, size workload.Size, scale float64) (*l2MissStream, error) {
+	key := traceKey{name, size, scale}
+	if v, ok := l2StreamCache.Load(key); ok {
+		return v.(*l2MissStream), nil
+	}
+	tr, err := record(name, size, scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := noStreams()
+	l1i, err := cache.New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	geom := cfg.Geometry
+	ms := &l2MissStream{}
+	for _, a := range tr.accs {
+		c := l1d
+		if a.Kind == mem.IFetch {
+			c = l1i
+		}
+		var res cache.Result
+		if a.Kind == mem.Write {
+			res = c.Write(uint64(a.Addr))
+		} else {
+			res = c.Read(uint64(a.Addr))
+		}
+		if !res.Sampled || res.Hit {
+			continue
+		}
+		if res.WroteBack {
+			ms.events = append(ms.events, l2Event{
+				addr:  geom.BlockToByte(mem.Addr(res.VictimBlock)),
+				write: true,
+			})
+		}
+		if res.Filled {
+			ms.events = append(ms.events, l2Event{addr: geom.BlockBase(a.Addr)})
+		}
+	}
+	v, _ := l2StreamCache.LoadOrStore(key, ms)
+	return v.(*l2MissStream), nil
+}
+
+// l2LocalHitRate replays a miss stream through one secondary cache
+// configuration and returns the local hit rate in percent.
+func (ms *l2MissStream) l2LocalHitRate(cfg cache.Config) (float64, error) {
+	l2, err := cache.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, ev := range ms.events {
+		if ev.write {
+			l2.Write(uint64(ev.addr))
+		} else {
+			l2.Read(uint64(ev.addr))
+		}
+	}
+	return 100 * l2.Stats().HitRate(), nil
+}

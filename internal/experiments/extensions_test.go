@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// cellFloat parses a numeric table cell.
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad numeric cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestCPIExperimentShape(t *testing.T) {
+	tbl, err := CPI(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 15 || len(tbl.Columns) != 6 {
+		t.Fatalf("extcpi shape %dx%d, want 15x6", len(tbl.Rows), len(tbl.Columns))
+	}
+	for _, row := range tbl.Rows {
+		bare := cellFloat(t, row[1])
+		full := cellFloat(t, row[3])
+		if bare < 1 || full < 1 {
+			t.Errorf("%s: CPI below 1 (bare %.2f, full %.2f)", row[0], bare, full)
+		}
+		// Streams should never make things dramatically worse.
+		if full > bare*1.2 {
+			t.Errorf("%s: filtered streams slowed execution %.2f -> %.2f", row[0], bare, full)
+		}
+	}
+}
+
+func TestBaselinesExperimentShape(t *testing.T) {
+	tbl, err := Baselines(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 15 || len(tbl.Columns) != 7 {
+		t.Fatalf("extbase shape %dx%d, want 15x7", len(tbl.Rows), len(tbl.Columns))
+	}
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	// embar: every scheme trivially covers a single sequential stream.
+	for col := 1; col <= 5; col += 2 {
+		if v := cellFloat(t, byName["embar"][col]); v < 90 {
+			t.Errorf("embar column %d coverage = %.1f, want > 90", col, v)
+		}
+	}
+	// OBL wastes heavily on the strided codes; the RPT does not.
+	if obl := cellFloat(t, byName["fftpde"][4]); obl < 20 {
+		t.Errorf("fftpde OBL extra traffic = %.1f, want large (sequential lookahead on strides)", obl)
+	}
+	if rpt := cellFloat(t, byName["fftpde"][6]); rpt > 15 {
+		t.Errorf("fftpde RPT extra traffic = %.1f, want small", rpt)
+	}
+}
+
+func TestEqualCostExperimentShape(t *testing.T) {
+	tbl, err := EqualCost(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 15 || len(tbl.Columns) != 4 {
+		t.Fatalf("extcost shape %dx%d, want 15x4", len(tbl.Rows), len(tbl.Columns))
+	}
+	wins := 0
+	for _, row := range tbl.Rows {
+		if cellFloat(t, row[3]) > 1.0 {
+			wins++
+		}
+	}
+	// The paper's conclusion holds "for regular scientific workloads":
+	// the stream node must win for most benchmarks, not all.
+	if wins < 8 {
+		t.Errorf("stream node wins only %d/15 equal-cost comparisons", wins)
+	}
+	if wins == 15 {
+		t.Error("stream node should NOT win everywhere (cache-friendly irregular codes exist)")
+	}
+}
+
+func TestScalabilityExperimentShape(t *testing.T) {
+	tbl, err := Scalability(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 15 || len(tbl.Columns) != 6 {
+		t.Fatalf("extscale shape %dx%d, want 15x6", len(tbl.Rows), len(tbl.Columns))
+	}
+	for _, row := range tbl.Rows {
+		gain := cellFloat(t, row[5])
+		if gain < 0.9 {
+			t.Errorf("%s: filter reduced sustainable machine size (gain %.2f)", row[0], gain)
+		}
+	}
+}
+
+func TestChartForFigures(t *testing.T) {
+	tbl, err := Figure9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, ok := ChartFor("fig9", tbl)
+	if !ok {
+		t.Fatal("fig9 should be chartable")
+	}
+	if len(chart.Series) != 3 {
+		t.Errorf("fig9 chart has %d series, want 3", len(chart.Series))
+	}
+	for _, s := range chart.Series {
+		if len(s.Values) != len(figure9CzoneBits) {
+			t.Errorf("series %s has %d points, want %d", s.Name, len(s.Values), len(figure9CzoneBits))
+		}
+	}
+	if chart.YMax != 100 {
+		t.Error("hit-rate chart should be scaled 0-100")
+	}
+}
+
+func TestChartForFig3FiltersRows(t *testing.T) {
+	tbl, err := Figure3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, ok := ChartFor("fig3", tbl)
+	if !ok {
+		t.Fatal("fig3 should be chartable")
+	}
+	if len(chart.Series) >= 15 {
+		t.Errorf("fig3 chart should subset the 15 curves, has %d", len(chart.Series))
+	}
+}
+
+func TestChartForTablesNotChartable(t *testing.T) {
+	tbl, err := Table2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ChartFor("table2", tbl); ok {
+		t.Error("tables must not be chartable")
+	}
+}

@@ -1,0 +1,43 @@
+package filter_test
+
+import (
+	"fmt"
+
+	"streamsim/internal/filter"
+	"streamsim/internal/mem"
+)
+
+// ExampleUnitStride shows the Section 6 allocation policy: a stream is
+// allocated only on the second of two consecutive-block misses.
+func ExampleUnitStride() {
+	f, err := filter.NewUnitStride(16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("isolated miss allocates:", f.Lookup(500))
+	fmt.Println("miss at block 10 allocates:", f.Lookup(10))
+	fmt.Println("miss at block 11 allocates:", f.Lookup(11))
+	// Output:
+	// isolated miss allocates: false
+	// miss at block 10 allocates: false
+	// miss at block 11 allocates: true
+}
+
+// ExampleNonUnitStride walks the Figure 7 FSM: three equal-stride
+// misses in one czone partition verify the stride.
+func ExampleNonUnitStride() {
+	f, err := filter.NewNonUnitStride(16, 16)
+	if err != nil {
+		panic(err)
+	}
+	base := mem.Addr(1 << 20)
+	const stride = 2048 // words
+	for i := mem.Addr(0); i < 3; i++ {
+		alloc, _, s := f.Observe(base + i*stride)
+		fmt.Printf("observation %d: allocate=%v stride=%d\n", i+1, alloc, s)
+	}
+	// Output:
+	// observation 1: allocate=false stride=0
+	// observation 2: allocate=false stride=0
+	// observation 3: allocate=true stride=2048
+}

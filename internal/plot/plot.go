@@ -1,0 +1,160 @@
+// Package plot renders simple ASCII line charts for the figure
+// experiments, so `paperexp -plot` can show Figure 3's hit-rate curves
+// and Figure 9's czone window the way the paper draws them, without
+// leaving the terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	// Name labels the curve in the legend.
+	Name string
+	// Values are the y samples, one per x position.
+	Values []float64
+}
+
+// Chart is a multi-series line chart over shared x labels.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// XTicks label the x positions (one per sample).
+	XTicks []string
+	// Series are the curves.
+	Series []Series
+	// Height is the plot's interior height in rows (default 20).
+	Height int
+	// YMin/YMax fix the y range; both zero means auto-scale.
+	YMin, YMax float64
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 20
+	}
+	maxLen := 0
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+
+	ymin, ymax := c.YMin, c.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				ymin = math.Min(ymin, v)
+				ymax = math.Max(ymax, v)
+			}
+		}
+		if ymin == ymax {
+			ymin, ymax = ymin-1, ymax+1
+		}
+		// Pad 5% so extremes don't sit on the frame.
+		pad := (ymax - ymin) * 0.05
+		ymin, ymax = ymin-pad, ymax+pad
+	}
+
+	// Horizontal layout: each sample gets a fixed-width column.
+	colW := 4
+	for _, t := range c.XTicks {
+		if len(t)+2 > colW {
+			colW = len(t) + 2
+		}
+	}
+	width := maxLen * colW
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - ymin) / (ymax - ymin)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	colOf := func(i int) int { return i*colW + colW/2 }
+
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		prevRow, prevCol := -1, -1
+		for i, v := range s.Values {
+			row, col := rowOf(v), colOf(i)
+			// Connect to the previous point with a sparse line.
+			if prevCol >= 0 {
+				steps := col - prevCol
+				for st := 1; st < steps; st++ {
+					interp := prevRow + (row-prevRow)*st/steps
+					cell := &grid[interp][prevCol+st]
+					if *cell == ' ' {
+						*cell = '.'
+					}
+				}
+			}
+			grid[row][col] = mark
+			prevRow, prevCol = row, col
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLabelWidth := 8
+	for i, row := range grid {
+		// Y tick on the top, middle and bottom rows.
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%.0f", ymax)
+		case height / 2:
+			label = fmt.Sprintf("%.0f", (ymax+ymin)/2)
+		case height - 1:
+			label = fmt.Sprintf("%.0f", ymin)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelWidth, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelWidth, "", strings.Repeat("-", width))
+	// X tick row.
+	tickRow := []byte(strings.Repeat(" ", width))
+	for i, t := range c.XTicks {
+		if i >= maxLen {
+			break
+		}
+		col := colOf(i) - len(t)/2
+		if col < 0 {
+			col = 0
+		}
+		copy(tickRow[col:], t)
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", yLabelWidth, "", string(tickRow))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", yLabelWidth, "", c.XLabel, c.YLabel)
+	}
+	// Legend.
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", yLabelWidth, "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

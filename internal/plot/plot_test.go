@@ -1,0 +1,98 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart should say so:\n%s", out)
+	}
+}
+
+func TestSingleSeries(t *testing.T) {
+	c := &Chart{
+		Title:  "test",
+		XTicks: []string{"1", "2", "3"},
+		Series: []Series{{Name: "s", Values: []float64{0, 50, 100}}},
+		Height: 10,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	gridPart := out[:strings.Index(out, "+--")]
+	if strings.Count(gridPart, "*") != 3 {
+		t.Errorf("want 3 markers in the grid, got %d:\n%s", strings.Count(gridPart, "*"), out)
+	}
+	if !strings.Contains(out, "* s") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	// The rising series: first marker on a lower row than the last.
+	var firstRow, lastRow int
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, '*'); idx >= 0 {
+			if firstRow == 0 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow >= lastRow {
+		t.Errorf("rising series should span rows: first %d last %d", firstRow, lastRow)
+	}
+}
+
+func TestMultiSeriesMarkers(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"a", "b"},
+		Series: []Series{
+			{Name: "one", Values: []float64{1, 2}},
+			{Name: "two", Values: []float64{3, 4}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("distinct markers expected:\n%s", out)
+	}
+}
+
+func TestFixedRange(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"a"},
+		Series: []Series{{Name: "s", Values: []float64{50}}},
+		YMin:   0, YMax: 100,
+		Height: 11,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "100") || !strings.Contains(out, "0 |") {
+		t.Errorf("fixed-range ticks missing:\n%s", out)
+	}
+}
+
+func TestFlatSeriesDoesNotPanic(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"a", "b"},
+		Series: []Series{{Name: "flat", Values: []float64{5, 5}}},
+	}
+	if out := c.Render(); out == "" {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"a"},
+		XLabel: "streams",
+		YLabel: "hit %",
+		Series: []Series{{Name: "s", Values: []float64{1}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "x: streams") || !strings.Contains(out, "y: hit %") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}

@@ -1,0 +1,133 @@
+// Package stats provides the derived metrics the paper reports: stream
+// hit rates, the extra-bandwidth (EB) measure of Section 5/6 in both
+// its empirical and closed forms, and small histogram utilities used by
+// the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ratio returns num/den as a float, or 0 when den is 0.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Percent returns num/den scaled to percent, or 0 when den is 0.
+func Percent(num, den uint64) float64 { return 100 * Ratio(num, den) }
+
+// ExtraBandwidth is the paper's EB metric: memory bandwidth wasted by
+// stream prefetching as a fraction of the bandwidth the program needs
+// without streams. wasted counts prefetched blocks never consumed;
+// required counts the blocks the program itself had to move (primary
+// cache fills). The result is in percent.
+func ExtraBandwidth(wasted, required uint64) float64 {
+	return Percent(wasted, required)
+}
+
+// EBNoFilterClosedForm is the paper's Section 5 expression for ordinary
+// streams: every stream miss causes an allocation that will eventually
+// flush up to depth prefetches, so EB = depth * streamMisses /
+// cacheMisses (percent). It is an upper bound on the empirical EB.
+func EBNoFilterClosedForm(depth int, streamMisses, cacheMisses uint64) float64 {
+	if cacheMisses == 0 {
+		return 0
+	}
+	return 100 * float64(uint64(depth)*streamMisses) / float64(cacheMisses)
+}
+
+// EBWithFilterClosedForm is the Section 6 expression: with a filter,
+// streams are allocated only on filter hits, so EB = depth * filterHits
+// / cacheMisses (percent).
+func EBWithFilterClosedForm(depth int, filterHits, cacheMisses uint64) float64 {
+	if cacheMisses == 0 {
+		return 0
+	}
+	return 100 * float64(uint64(depth)*filterHits) / float64(cacheMisses)
+}
+
+// Histogram is a fixed-bucket histogram keyed by upper bounds. The
+// final bucket is unbounded.
+type Histogram struct {
+	bounds []uint64 // ascending upper bounds (inclusive); last bucket open
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with len(bounds)+1 buckets. Bounds
+// must be strictly ascending.
+func NewHistogram(bounds ...uint64) (*Histogram, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: histogram bounds not ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}, nil
+}
+
+// Add records value with the given weight.
+func (h *Histogram) Add(value, weight uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return value <= h.bounds[i] })
+	h.counts[i] += weight
+	h.total += weight
+}
+
+// Counts returns a copy of the bucket weights.
+func (h *Histogram) Counts() []uint64 {
+	return append([]uint64(nil), h.counts...)
+}
+
+// Total returns the sum of all weights.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Shares returns each bucket's fraction of the total in percent.
+func (h *Histogram) Shares() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = 100 * float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Labels renders bucket labels like "0-5", "6-10", ">10".
+func (h *Histogram) Labels() []string {
+	out := make([]string, len(h.counts))
+	lo := uint64(0)
+	for i, b := range h.bounds {
+		out[i] = fmt.Sprintf("%d-%d", lo, b)
+		lo = b + 1
+	}
+	out[len(out)-1] = fmt.Sprintf(">%d", h.bounds[len(h.bounds)-1])
+	return out
+}
+
+// Mean accumulates a running mean without storing samples.
+type Mean struct {
+	n   uint64
+	sum float64
+}
+
+// Add records one sample.
+func (m *Mean) Add(v float64) { m.n++; m.sum += v }
+
+// N returns the sample count.
+func (m *Mean) N() uint64 { return m.n }
+
+// Value returns the mean, or NaN with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.sum / float64(m.n)
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Errorf("Ratio(3,4) = %v", Ratio(3, 4))
+	}
+	if Percent(1, 4) != 25 {
+		t.Errorf("Percent(1,4) = %v", Percent(1, 4))
+	}
+}
+
+func TestExtraBandwidth(t *testing.T) {
+	if got := ExtraBandwidth(96, 100); got != 96 {
+		t.Errorf("ExtraBandwidth = %v, want 96", got)
+	}
+	if got := ExtraBandwidth(5, 0); got != 0 {
+		t.Errorf("ExtraBandwidth with zero required = %v, want 0", got)
+	}
+}
+
+func TestClosedForms(t *testing.T) {
+	// depth 2, 30 stream misses, 100 cache misses -> 60%.
+	if got := EBNoFilterClosedForm(2, 30, 100); got != 60 {
+		t.Errorf("EBNoFilterClosedForm = %v, want 60", got)
+	}
+	if got := EBNoFilterClosedForm(2, 30, 0); got != 0 {
+		t.Error("zero cache misses should give 0")
+	}
+	if got := EBWithFilterClosedForm(2, 10, 100); got != 20 {
+		t.Errorf("EBWithFilterClosedForm = %v, want 20", got)
+	}
+	if got := EBWithFilterClosedForm(2, 10, 0); got != 0 {
+		t.Error("zero cache misses should give 0")
+	}
+}
+
+func TestFilterReducesClosedFormEB(t *testing.T) {
+	// With a filter, allocations (filter hits) are at most stream
+	// misses, so the closed-form EB can only shrink.
+	f := func(depth uint8, sm, fhRaw uint32) bool {
+		d := int(depth%4) + 1
+		fh := fhRaw % (sm + 1) // filter hits <= stream misses
+		cm := sm + 1000
+		return EBWithFilterClosedForm(d, uint64(fh), uint64(cm)) <=
+			EBNoFilterClosedForm(d, uint64(sm), uint64(cm))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(5, 5); err == nil {
+		t.Error("non-ascending bounds should be rejected")
+	}
+	if _, err := NewHistogram(10, 5); err == nil {
+		t.Error("descending bounds should be rejected")
+	}
+	if _, err := NewHistogram(5, 10, 15); err != nil {
+		t.Errorf("valid bounds rejected: %v", err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := NewHistogram(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0, 1)  // bucket 0
+	h.Add(5, 1)  // bucket 0 (inclusive bound)
+	h.Add(6, 2)  // bucket 1
+	h.Add(11, 4) // bucket 2 (open)
+	counts := h.Counts()
+	want := []uint64{2, 2, 4}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	shares := h.Shares()
+	if shares[2] != 50 {
+		t.Errorf("share of open bucket = %v, want 50", shares[2])
+	}
+}
+
+func TestHistogramLabels(t *testing.T) {
+	h, _ := NewHistogram(5, 10)
+	labels := h.Labels()
+	want := []string{"0-5", "6-10", ">10"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("label %d = %q, want %q", i, labels[i], want[i])
+		}
+	}
+}
+
+func TestHistogramEmptyShares(t *testing.T) {
+	h, _ := NewHistogram(5)
+	for _, s := range h.Shares() {
+		if s != 0 {
+			t.Error("empty histogram shares should be zero")
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if !math.IsNaN(m.Value()) {
+		t.Error("empty mean should be NaN")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 {
+		t.Errorf("mean = %v, want 3", m.Value())
+	}
+	if m.N() != 2 {
+		t.Errorf("N = %d, want 2", m.N())
+	}
+}
+
+// Property: histogram total always equals the sum of bucket counts.
+func TestHistogramConservation(t *testing.T) {
+	f := func(values []uint16) bool {
+		h, err := NewHistogram(10, 100, 1000)
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			h.Add(uint64(v), 1)
+		}
+		var sum uint64
+		for _, c := range h.Counts() {
+			sum += c
+		}
+		return sum == h.Total() && h.Total() == uint64(len(values))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package tab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Columns: []string{"name", "v"},
+	}
+	tbl.AddRow("a", "1.0")
+	tbl.AddRow("longer", "10.5")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Numeric column is right-aligned: both values end at same offset.
+	if len(lines[4]) != len(lines[5]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[4], lines[5])
+	}
+}
+
+func TestRenderPadsShortRows(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b", "c"}}
+	tbl.AddRow("x")
+	out := tbl.Render()
+	if !strings.Contains(out, "x") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestRenderWideRow(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}}
+	tbl.AddRow("1", "2", "3")
+	out := tbl.Render()
+	if !strings.Contains(out, "3") {
+		t.Error("extra cells dropped")
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}, Notes: []string{"hello"}}
+	if !strings.Contains(tbl.Render(), "note: hello") {
+		t.Error("notes missing")
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}}
+	out := tbl.Render()
+	if strings.HasPrefix(out, "\n") || strings.HasPrefix(out, "=") {
+		t.Error("title artifacts without a title")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.25) != "1.2" && F(1.25) != "1.3" {
+		t.Errorf("F(1.25) = %q", F(1.25))
+	}
+	if F2(3.14159) != "3.14" {
+		t.Errorf("F2 = %q", F2(3.14159))
+	}
+	if D(42) != "42" {
+		t.Errorf("D = %q", D(42))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := &Table{
+		Title:   "My Table",
+		Columns: []string{"name", "v"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("plain", "1.5")
+	tbl.AddRow("needs, quoting", `has "quotes"`)
+	out := tbl.CSV()
+	want := "# My Table\n" +
+		"name,v\n" +
+		"plain,1.5\n" +
+		"\"needs, quoting\",\"has \"\"quotes\"\"\"\n" +
+		"# a note\n"
+	if out != want {
+		t.Errorf("CSV =\n%q\nwant\n%q", out, want)
+	}
+}

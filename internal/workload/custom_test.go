@@ -1,0 +1,111 @@
+package workload_test
+
+import (
+	"testing"
+
+	"streamsim/internal/core"
+	"streamsim/internal/workload"
+)
+
+func TestCustomValidation(t *testing.T) {
+	if _, err := workload.Custom(workload.CustomParams{}); err == nil {
+		t.Error("all-zero shares should be rejected")
+	}
+	if _, err := workload.Custom(workload.CustomParams{SequentialShare: -1, RandomShare: 2}); err == nil {
+		t.Error("negative share should be rejected")
+	}
+	if _, err := workload.Custom(workload.CustomParams{SequentialShare: 1, WriteFraction: 2}); err == nil {
+		t.Error("write fraction > 1 should be rejected")
+	}
+	if _, err := workload.Custom(workload.CustomParams{SequentialShare: 1, StrideBytes: -64}); err == nil {
+		t.Error("negative stride should be rejected")
+	}
+}
+
+func TestCustomDefaults(t *testing.T) {
+	w, err := workload.Custom(workload.CustomParams{SequentialShare: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "custom" || w.Suite != "custom" {
+		t.Errorf("defaults wrong: %q/%q", w.Name, w.Suite)
+	}
+	if w.DataBytes != 8<<20 {
+		t.Errorf("default data bytes = %d", w.DataBytes)
+	}
+}
+
+// runCustom drives a custom mix through the paper's default system.
+func runCustom(t *testing.T, p workload.CustomParams) core.Results {
+	t.Helper()
+	w, err := workload.Custom(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(sys, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Results()
+}
+
+func TestCustomPureSequentialStreams(t *testing.T) {
+	r := runCustom(t, workload.CustomParams{SequentialShare: 1})
+	if hr := r.StreamHitRate(); hr < 95 {
+		t.Errorf("pure sequential mix hit rate = %.1f, want > 95", hr)
+	}
+}
+
+func TestCustomPureRandomDoesNot(t *testing.T) {
+	r := runCustom(t, workload.CustomParams{RandomShare: 1})
+	if hr := r.StreamHitRate(); hr > 20 {
+		t.Errorf("pure random mix hit rate = %.1f, want ~0", hr)
+	}
+}
+
+func TestCustomStrideNeedsDetector(t *testing.T) {
+	p := workload.CustomParams{StrideShare: 1, StrideBytes: 8192}
+	with := runCustom(t, p)
+	if hr := with.StreamHitRate(); hr < 90 {
+		t.Errorf("strided mix with czone detection hit rate = %.1f, want > 90", hr)
+	}
+	w, err := workload.Custom(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Stride = core.NoStrideDetection
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(sys, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if hr := sys.Results().StreamHitRate(); hr > 10 {
+		t.Errorf("strided mix without detection hit rate = %.1f, want ~0", hr)
+	}
+}
+
+func TestCustomResidentMixHitsL1(t *testing.T) {
+	r := runCustom(t, workload.CustomParams{ResidentShare: 1})
+	if mr := r.DataMissRate(); mr > 1 {
+		t.Errorf("resident mix miss rate = %.2f%%, want ~0", mr)
+	}
+}
+
+func TestCustomWriteFraction(t *testing.T) {
+	r := runCustom(t, workload.CustomParams{SequentialShare: 1, WriteFraction: 0.5})
+	total := r.L1D.Accesses
+	if total == 0 {
+		t.Fatal("no accesses")
+	}
+	// Write misses roughly half of misses.
+	frac := float64(r.L1D.WriteMisses) / float64(r.L1D.Misses)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("write-miss fraction = %.2f, want ~0.5", frac)
+	}
+}

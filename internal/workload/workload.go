@@ -1,0 +1,378 @@
+// Package workload generates the memory reference traces of the
+// paper's fifteen benchmarks (eight NAS, seven PERFECT). The paper
+// traced Fortran binaries with Shade; since those binaries and tracer
+// are unavailable, each benchmark is modelled as a synthetic kernel
+// that emits the same *kinds* of reference behaviour the program's
+// inner loops produce — unit-stride array sweeps, constant large-stride
+// walks (FFT butterflies, dimensional sweeps), scatter/gather
+// indirection, short block-structured runs, and stencil neighbourhoods —
+// at the data-set sizes of the paper's Table 1.
+//
+// What the prefetch hardware sees is only the address stream, so a
+// model that reproduces the mixture of run lengths, stride values and
+// irregularity reproduces the paper's stream buffer behaviour. Each
+// benchmark notes, in its doc comment, which Table 1 / Table 3 /
+// Figure 3 characteristics it is calibrated to.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"streamsim/internal/mem"
+)
+
+// Sink consumes the generated reference stream. core.System satisfies
+// it, as does trace.Writer.
+type Sink interface {
+	// Access presents one memory reference.
+	Access(mem.Access)
+	// AddInstructions reports n retired instructions (for MPI).
+	AddInstructions(n uint64)
+}
+
+// Size selects the benchmark input scale. The paper's Table 4 grows
+// five benchmarks to a second, larger input.
+type Size uint8
+
+// Input sizes.
+const (
+	// SizeSmall is the paper's default input (Table 1).
+	SizeSmall Size = iota
+	// SizeLarge is the grown input of Table 4.
+	SizeLarge
+)
+
+// String names the size.
+func (s Size) String() string {
+	if s == SizeLarge {
+		return "large"
+	}
+	return "small"
+}
+
+// Workload is one benchmark: metadata plus the kernel body.
+type Workload struct {
+	// Name is the paper's benchmark name (e.g. "mgrid").
+	Name string
+	// Suite is "NAS" or "PERFECT".
+	Suite string
+	// Description is the Table 1 one-liner.
+	Description string
+	// Input describes the data-set configuration in Table 1 terms.
+	Input string
+	// DataBytes is the resident data-set size.
+	DataBytes uint64
+	// run is the kernel body. scale in (0, 1] shrinks the iteration
+	// count for quick runs without changing the data-set size.
+	run func(m *Machine, scale float64)
+}
+
+// Run drives the kernel, sending its references to sink. scale in
+// (0, 1] trades trace length for fidelity; 1 is the experiment default.
+func (w *Workload) Run(sink Sink, scale float64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("workload %s: scale %v outside (0, 1]", w.Name, scale)
+	}
+	m := newMachine(sink, w.Name)
+	w.run(m, scale)
+	m.flush()
+	return nil
+}
+
+// iters scales an iteration count, keeping at least one iteration.
+func iters(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Machine is the kernel execution context: a bump allocator for the
+// benchmark's address space, a deterministic RNG, an instruction
+// counter that also synthesizes the (block-granularity) instruction
+// fetch stream, and load/store emission helpers.
+type Machine struct {
+	sink Sink
+	rng  *rand.Rand
+
+	heap   mem.Addr // bump allocator cursor
+	allocs int      // allocation count, drives the de-aliasing skew
+
+	codeBase  mem.Addr
+	codeBytes mem.Addr
+	codePC    mem.Addr
+	pendInsts uint64
+}
+
+// Loop models the backward branch of an inner loop: each call resets
+// the synthetic PC to the loop's code window (id selects a distinct
+// 512-byte window per loop nest). Benchmarks call it once per
+// iteration of each reference-issuing loop, which keeps per-site load
+// and store PCs stable across iterations — the property PC-indexed
+// prefetchers (internal/prefetch's RPT) rely on, and which real loops
+// have by construction.
+func (m *Machine) Loop(id int) {
+	const window = 512
+	base := m.codeBase
+	if m.codeBytes > window {
+		base += mem.Addr(id*window) % (m.codeBytes - window)
+	}
+	m.codePC = base
+	// The taken backward branch re-fetches the loop head (an L1I hit
+	// in steady state, as the paper's near-zero I-miss rates reflect).
+	m.sink.Access(mem.Access{Addr: base, Kind: mem.IFetch})
+}
+
+// Instruction-stream modelling: 4 bytes per instruction, one IFetch
+// emitted per 64-byte block boundary crossed, code footprint looping
+// cyclically (small loops dominate scientific codes, so the I-stream
+// hits the 64 KB L1I almost always — the paper's observation that
+// partitioned instruction streams were not beneficial).
+const (
+	instBytes       = 4
+	defaultCodeSize = 8 << 10 // 8 KB of hot loop code
+	heapBase        = 1 << 24 // data segment starts at 16 MB
+	codeSegBase     = 1 << 20 // code segment at 1 MB
+	allocAlign      = 4096    // page-align each array
+)
+
+// newMachine seeds the RNG from the workload name so runs are
+// deterministic per benchmark.
+func newMachine(sink Sink, name string) *Machine {
+	var seed int64
+	for _, c := range name {
+		seed = seed*131 + int64(c)
+	}
+	return &Machine{
+		sink:      sink,
+		rng:       rand.New(rand.NewSource(seed)),
+		heap:      heapBase,
+		codeBase:  codeSegBase,
+		codeBytes: defaultCodeSize,
+		codePC:    codeSegBase,
+	}
+}
+
+// Alloc reserves bytes of the data segment and returns the base
+// address. Consecutive allocations are skewed by a growing, non-
+// power-of-two pad so that simultaneously-walked arrays do not alias
+// into the same cache sets (real Fortran COMMON-block layouts have the
+// same property; perfectly set-aligned arrays would thrash even a
+// 4-way cache).
+func (m *Machine) Alloc(bytes uint64) mem.Addr {
+	base := m.heap
+	m.heap += mem.Addr((bytes + allocAlign - 1) &^ (allocAlign - 1))
+	m.allocs++
+	m.heap += mem.Addr(m.allocs) * 1088 // de-aliasing skew, 64B-aligned
+	return base
+}
+
+// SetCodeFootprint sizes the hot code loop (default 8 KB).
+func (m *Machine) SetCodeFootprint(bytes uint64) {
+	if bytes < 64 {
+		bytes = 64
+	}
+	m.codeBytes = mem.Addr(bytes &^ 63)
+	m.codePC = m.codeBase
+}
+
+// Inst retires n instructions, advancing the synthetic PC and emitting
+// block-granularity instruction fetches.
+func (m *Machine) Inst(n int) {
+	if n <= 0 {
+		return
+	}
+	m.pendInsts += uint64(n)
+	oldBlk := m.codePC >> 6
+	m.codePC += mem.Addr(n * instBytes)
+	for blk := oldBlk + 1; blk <= m.codePC>>6; blk++ {
+		pc := blk << 6
+		if pc >= m.codeBase+m.codeBytes {
+			m.codePC = m.codeBase + (m.codePC - (m.codeBase + m.codeBytes))
+			pc = m.codeBase
+			blk = pc >> 6
+			m.sink.Access(mem.Access{Addr: pc, Kind: mem.IFetch})
+			break
+		}
+		m.sink.Access(mem.Access{Addr: pc, Kind: mem.IFetch})
+	}
+	if m.pendInsts >= 1<<16 {
+		m.flush()
+	}
+}
+
+// flush forwards batched instruction counts to the sink.
+func (m *Machine) flush() {
+	if m.pendInsts > 0 {
+		m.sink.AddInstructions(m.pendInsts)
+		m.pendInsts = 0
+	}
+}
+
+// Load emits a data load, stamped with the current synthetic PC so
+// PC-indexed prefetchers (internal/prefetch's RPT) can correlate it
+// with its issuing instruction site. The load is itself an instruction
+// slot: the PC advances past it, so the several references of one loop
+// body occupy distinct, iteration-stable PCs.
+func (m *Machine) Load(a mem.Addr) {
+	m.sink.Access(mem.Access{Addr: a, PC: m.codePC, Kind: mem.Read})
+	m.codePC += instBytes
+}
+
+// Store emits a data store (see Load for PC semantics).
+func (m *Machine) Store(a mem.Addr) {
+	m.sink.Access(mem.Access{Addr: a, PC: m.codePC, Kind: mem.Write})
+	m.codePC += instBytes
+}
+
+// Rand returns the machine's deterministic RNG.
+func (m *Machine) Rand() *rand.Rand { return m.rng }
+
+// --- kernel toolkit -------------------------------------------------
+
+// SeqLoad walks n elements of elemBytes each from base, loading each,
+// with instsPerRef instructions of compute interleaved per reference.
+func (m *Machine) SeqLoad(base mem.Addr, n int, elemBytes uint, instsPerRef int) {
+	for i := 0; i < n; i++ {
+		m.Load(base + mem.Addr(i)*mem.Addr(elemBytes))
+		m.Inst(instsPerRef)
+	}
+}
+
+// SeqStore is SeqLoad for stores.
+func (m *Machine) SeqStore(base mem.Addr, n int, elemBytes uint, instsPerRef int) {
+	for i := 0; i < n; i++ {
+		m.Store(base + mem.Addr(i)*mem.Addr(elemBytes))
+		m.Inst(instsPerRef)
+	}
+}
+
+// StrideLoad walks n references from base with a constant byte stride.
+func (m *Machine) StrideLoad(base mem.Addr, n int, strideBytes int64, instsPerRef int) {
+	a := int64(base)
+	for i := 0; i < n; i++ {
+		if a < 0 {
+			return
+		}
+		m.Load(mem.Addr(a))
+		m.Inst(instsPerRef)
+		a += strideBytes
+	}
+}
+
+// StrideStore is StrideLoad for stores.
+func (m *Machine) StrideStore(base mem.Addr, n int, strideBytes int64, instsPerRef int) {
+	a := int64(base)
+	for i := 0; i < n; i++ {
+		if a < 0 {
+			return
+		}
+		m.Store(mem.Addr(a))
+		m.Inst(instsPerRef)
+		a += strideBytes
+	}
+}
+
+// GatherLoad performs n indirect loads: load idx from idxBase
+// sequentially, then load data[idx*elemBytes]. idxOf supplies the
+// index value for the i-th gather (the model's stand-in for the index
+// array contents).
+func (m *Machine) GatherLoad(idxBase, dataBase mem.Addr, n int, elemBytes uint,
+	idxOf func(i int) int, instsPerRef int) {
+	for i := 0; i < n; i++ {
+		m.Load(idxBase + mem.Addr(i)*4) // index array is int32
+		m.Load(dataBase + mem.Addr(idxOf(i))*mem.Addr(elemBytes))
+		m.Inst(instsPerRef)
+	}
+}
+
+// ScatterStore is GatherLoad with the data reference a store.
+func (m *Machine) ScatterStore(idxBase, dataBase mem.Addr, n int, elemBytes uint,
+	idxOf func(i int) int, instsPerRef int) {
+	for i := 0; i < n; i++ {
+		m.Load(idxBase + mem.Addr(i)*4)
+		m.Store(dataBase + mem.Addr(idxOf(i))*mem.Addr(elemBytes))
+		m.Inst(instsPerRef)
+	}
+}
+
+// BlockRun loads a short contiguous run of bytes (a dense sub-block,
+// e.g. one 5x5 Jacobian) starting at base.
+func (m *Machine) BlockRun(base mem.Addr, bytes uint, instsPerRef int) {
+	for off := mem.Addr(0); off < mem.Addr(bytes); off += 8 {
+		m.Load(base + off)
+		m.Inst(instsPerRef)
+	}
+}
+
+// --- registry --------------------------------------------------------
+
+// New returns the named benchmark at the given input size. Names match
+// the paper's Table 1. Only the five Table 4 benchmarks accept
+// SizeLarge; the rest reject it.
+func New(name string, size Size) (*Workload, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	w, err := ctor(size)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Names returns every benchmark name in the paper's Table 1 order.
+func Names() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// NASNames returns the eight NAS benchmarks in Table 1 order.
+func NASNames() []string { return append([]string(nil), order[:8]...) }
+
+// PerfectNames returns the seven PERFECT benchmarks in Table 1 order.
+func PerfectNames() []string { return append([]string(nil), order[8:]...) }
+
+// GrowableNames returns the Table 4 benchmarks that accept SizeLarge.
+func GrowableNames() []string {
+	var out []string
+	for _, n := range order {
+		if growable[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// order is the paper's Table 1 listing.
+var order = []string{
+	"embar", "mgrid", "cgm", "fftpde", "is", "appsp", "appbt", "applu",
+	"spec77", "adm", "bdna", "dyfesm", "mdg", "qcd", "trfd",
+}
+
+// growable marks the benchmarks Table 4 grows.
+var growable = map[string]bool{
+	"appsp": true, "appbt": true, "applu": true, "cgm": true, "mgrid": true,
+}
+
+// registry maps names to constructors; populated by nas.go/perfect.go.
+var registry = map[string]func(Size) (*Workload, error){}
+
+// register adds a benchmark constructor; called from init functions.
+func register(name string, ctor func(Size) (*Workload, error)) {
+	registry[name] = ctor
+}
+
+// sizeOnlySmall rejects SizeLarge for non-Table 4 benchmarks.
+func sizeOnlySmall(name string, size Size) error {
+	if size != SizeSmall {
+		return fmt.Errorf("workload %s: only the small input is defined (Table 4 grows appsp, appbt, applu, cgm, mgrid)", name)
+	}
+	return nil
+}
