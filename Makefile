@@ -2,24 +2,40 @@
 
 GO ?= go
 
-.PHONY: all build test vet fuzz bench paper quick examples clean
+.PHONY: all build test lint vet race fuzz fuzz-smoke bench paper quick examples clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
-vet:
+# lint runs go vet plus simlint, the simulator's own invariant checkers
+# (see internal/analysis and `go run ./cmd/simlint -list`).
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/simlint ./...
+
+# vet is kept as an alias for muscle memory; prefer `make lint`.
+vet: lint
 
 test:
 	$(GO) test ./...
+
+# race runs the full suite under the race detector.
+race:
+	$(GO) test -race ./...
 
 # Short fuzz pass over the property surfaces (codec, cache ops).
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReader -fuzztime=30s ./internal/trace/
 	$(GO) test -run=Fuzz -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/trace/
 	$(GO) test -run=Fuzz -fuzz=FuzzCacheOps -fuzztime=30s ./internal/cache/
+
+# The same at CI scale: 10 seconds per target.
+fuzz-smoke:
+	$(GO) test -run=Fuzz -fuzz=FuzzReader -fuzztime=10s ./internal/trace/
+	$(GO) test -run=Fuzz -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/trace/
+	$(GO) test -run=Fuzz -fuzz=FuzzCacheOps -fuzztime=10s ./internal/cache/
 
 bench:
 	$(GO) test -bench=. -benchmem .

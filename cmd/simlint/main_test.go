@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(analyzers) {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v; want %d", len(all), err, len(analyzers))
+	}
+	two, err := selectAnalyzers("seededrand, maporder")
+	if err != nil {
+		t.Fatalf("selectAnalyzers: %v", err)
+	}
+	if len(two) != 2 || two[0].Name != "seededrand" || two[1].Name != "maporder" {
+		t.Fatalf("selectAnalyzers picked %v", two)
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("selectAnalyzers accepted an unknown analyzer")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr %q", code, stderr.String())
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean locks in the tentpole's acceptance criterion from the
+// driver's own test suite: the simulator sources must be free of
+// findings. It lints a representative slice of the hot paths rather
+// than ./... to keep the test fast.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain via go list")
+	}
+	findings, err := Lint("../..", analyzers,
+		"./internal/core/...", "./internal/mem/...", "./internal/cache/...")
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

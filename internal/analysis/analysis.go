@@ -1,0 +1,153 @@
+// Package analysis is a self-contained, dependency-free miniature of
+// golang.org/x/tools/go/analysis: just enough driver machinery to write
+// the simulator's custom invariant checkers (cmd/simlint) against the
+// standard library's go/ast and go/types.
+//
+// The shape deliberately mirrors the upstream API (Analyzer, Pass,
+// Diagnostic, Reportf) so the analyzers can be ported to the real
+// framework wholesale if the x/tools dependency ever becomes available;
+// until then the module stays dependency-free and the toolchain already
+// in the build image is all that is needed.
+//
+// Type information comes from compiler export data produced by
+// `go list -export` (see Load), exactly as production multicheckers do,
+// so analyzers see fully type-checked packages without re-checking the
+// whole dependency graph from source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by `simlint -list`.
+	Doc string
+	// PackagePrefixes restricts the driver to packages whose import
+	// path starts with one of these prefixes. Empty means every
+	// package. Tests bypass the filter and exercise the analyzer
+	// directly on testdata packages.
+	PackagePrefixes []string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the driver should run the analyzer on the
+// package with the given import path.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.PackagePrefixes) == 0 {
+		return true
+	}
+	for _, p := range a.PackagePrefixes {
+		if strings.HasPrefix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Pkg is the loaded package, including type information.
+	Pkg    *Package
+	Report func(Diagnostic)
+	// TypesInfo is Pkg's expression/identifier type information,
+	// hoisted for x/tools-style pass.TypesInfo access.
+	TypesInfo *types.Info
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file; most
+// analyzers exempt test code.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// RunAnalyzer executes a over pkg and returns its diagnostics with
+// //simlint:ignore suppressions applied, sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	diags = filterSuppressed(a.Name, pkg, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// ignoreDirective matches "//simlint:ignore name1,name2" comments.
+var ignoreDirective = regexp.MustCompile(`^//simlint:ignore\s+([\w,]+)`)
+
+// filterSuppressed drops diagnostics whose line (or the line below a
+// standalone directive comment) carries //simlint:ignore <name>.
+func filterSuppressed(name string, pkg *Package, diags []Diagnostic) []Diagnostic {
+	suppressed := map[string]map[int]bool{} // filename -> line -> ignored
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				ok := false
+				for _, n := range names {
+					if n == name || n == "all" {
+						ok = true
+					}
+				}
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				lines := suppressed[p.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					suppressed[p.Filename] = lines
+				}
+				lines[p.Line] = true
+				// A directive alone on its line suppresses the next line.
+				lines[p.Line+1] = true
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if suppressed[p.Filename][p.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

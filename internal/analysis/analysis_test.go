@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// TestLoadTypeChecks loads a real package of this module through the
+// export-data pipeline and sanity-checks the result.
+func TestLoadTypeChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain via go list")
+	}
+	pkgs, err := Load("../..", "./internal/mem")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "streamsim/internal/mem" {
+		t.Errorf("package path = %q", pkg.Path)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil {
+		t.Fatal("package loaded without files or types")
+	}
+	// The loader must resolve identifiers: find one Use with a type.
+	resolved := 0
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pkg.TypesInfo.Uses[id] != nil {
+				resolved++
+			}
+			return true
+		})
+	}
+	if resolved == 0 {
+		t.Error("no identifiers resolved; type info is empty")
+	}
+}
+
+// TestAppliesTo covers the driver-side package filter.
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Name: "x", PackagePrefixes: []string{"streamsim/internal/core"}}
+	if !a.AppliesTo("streamsim/internal/core") {
+		t.Error("prefix match rejected")
+	}
+	if a.AppliesTo("streamsim/cmd/streamsim") {
+		t.Error("non-matching package accepted")
+	}
+	open := &Analyzer{Name: "y"}
+	if !open.AppliesTo("anything") {
+		t.Error("empty prefix list must match everything")
+	}
+}
+
+// TestSuppression covers the //simlint:ignore directive end to end
+// using a synthetic analyzer that reports on every return statement.
+func TestSuppression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the toolchain via go list")
+	}
+	pkgs, err := Load("../..", "./internal/analysis/testdata/suppress")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a := &Analyzer{
+		Name: "retlint",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if _, ok := n.(*ast.ReturnStmt); ok {
+						pass.Reportf(n.Pos(), "return found")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := RunAnalyzer(a, pkgs[0])
+	if err != nil {
+		t.Fatalf("RunAnalyzer: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (two of three returns suppressed): %v", len(diags), diags)
+	}
+	pos := pkgs[0].Fset.Position(diags[0].Pos)
+	if !strings.Contains(pos.Filename, "suppress.go") {
+		t.Errorf("diagnostic at %v", pos)
+	}
+}

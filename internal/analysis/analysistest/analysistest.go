@@ -1,0 +1,264 @@
+// Package analysistest runs an analyzer over packages laid out under a
+// testdata directory and checks its diagnostics against expectations
+// written in the sources, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: testdata/src/<pkg>/*.go. Expectations are comments of the
+// form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each quoted regexp must match exactly one diagnostic reported on that
+// line; diagnostics with no matching expectation, and expectations with
+// no matching diagnostic, fail the test.
+//
+// Imports inside testdata packages resolve first against sibling
+// directories under testdata/src (so tests can fake project packages
+// like "trace" or "config"), then against the real toolchain's export
+// data, so standard-library imports work normally.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamsim/internal/analysis"
+)
+
+// Run loads each named package from dir/src and applies a to it,
+// checking diagnostics against the packages' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, dir, a, pkg)
+	}
+}
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := &loader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*loadedPkg{},
+	}
+	lp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("%s: loading testdata package %q: %v", a.Name, pkgpath, err)
+	}
+	pkg := &analysis.Package{
+		Path:      pkgpath,
+		Dir:       filepath.Join(ld.root, pkgpath),
+		Fset:      ld.fset,
+		Files:     lp.files,
+		Types:     lp.types,
+		TypesInfo: lp.info,
+	}
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	check(t, a, pkg, diags)
+}
+
+// wants collects the expected-diagnostic regexps per file and line.
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// check matches diagnostics against want comments.
+func check(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pattern := q
+					if q[0] == '"' {
+						var err error
+						if pattern, err = strconv.Unquote(q); err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					} else {
+						pattern = strings.Trim(q, "`")
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, a.Name, d.Message)
+			continue
+		}
+		wants[key][matched] = nil // consumed
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			if re != nil {
+				t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", k.file, k.line, a.Name, re)
+			}
+		}
+	}
+}
+
+// loader type-checks testdata packages, resolving local imports from
+// source and everything else from toolchain export data.
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	pkgs  map[string]*loadedPkg
+	gcImp types.Importer
+}
+
+type loadedPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// exportCache shares `go list -export` results across all tests in the
+// process; stdlib export data is immutable for a given toolchain.
+var exportCache = struct {
+	sync.Mutex
+	lookup analysis.ExportLookup
+}{lookup: analysis.ExportLookup{}}
+
+// resolveExport returns the export data file for a non-testdata import.
+func resolveExport(path string) (string, error) {
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	if f, ok := exportCache.lookup[path]; ok {
+		return f, nil
+	}
+	fresh, err := analysis.LoadExportData(".", path)
+	if err != nil {
+		return "", err
+	}
+	for p, f := range fresh {
+		exportCache.lookup[p] = f
+	}
+	f, ok := exportCache.lookup[path]
+	if !ok {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return f, nil
+}
+
+// Import implements types.Importer: testdata sibling packages load
+// from source, everything else from toolchain export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, path)); err == nil {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.types, nil
+	}
+	if l.gcImp == nil {
+		// One importer instance per loader keeps package identities
+		// consistent across imports.
+		l.gcImp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, err := resolveExport(path)
+			if err != nil {
+				return nil, err
+			}
+			return os.Open(f)
+		})
+	}
+	return l.gcImp.Import(path)
+}
+
+// load parses and type-checks one testdata package (cached).
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type checking %s: %v", path, err)
+	}
+	lp := &loadedPkg{files: files, types: tpkg, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}

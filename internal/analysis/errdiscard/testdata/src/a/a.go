@@ -1,0 +1,24 @@
+// Package a exercises the errdiscard positive cases.
+package a
+
+import (
+	"config"
+	"trace"
+)
+
+func dropFlush(w *trace.Writer) {
+	w.Flush() // want `w\.Flush returns an error that is discarded`
+}
+
+func dropDeferredFlush(w *trace.Writer) {
+	defer w.Flush() // want `defer w\.Flush returns an error that is discarded`
+}
+
+func blankLoad() {
+	_, _ = config.Load("paper.json") // want `error result of config\.Load assigned to the blank identifier`
+}
+
+func blankReader() *trace.Reader {
+	r, _ := trace.NewReader() // want `error result of trace\.NewReader assigned to the blank identifier`
+	return r
+}

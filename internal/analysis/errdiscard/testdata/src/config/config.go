@@ -1,0 +1,16 @@
+// Package config is a miniature of the simulator's config loaders,
+// just enough surface for the errdiscard tests.
+package config
+
+import "errors"
+
+// Config is a resolved configuration.
+type Config struct{ Streams int }
+
+// Load reads a configuration file.
+func Load(path string) (Config, error) {
+	return Config{}, errors.New("unimplemented")
+}
+
+// Describe renders a config (no error; must not be flagged).
+func Describe(c Config) string { return "" }

@@ -1,0 +1,23 @@
+// Package trace is a miniature of the simulator's trace codec, just
+// enough surface for the errdiscard tests.
+package trace
+
+import "errors"
+
+// Writer buffers trace events.
+type Writer struct{ err error }
+
+// Flush drains the buffer and reports any deferred write error.
+func (w *Writer) Flush() error { return w.err }
+
+// Events returns the event count (no error; must not be flagged).
+func (w *Writer) Events() uint64 { return 0 }
+
+// Reader decodes trace events.
+type Reader struct{}
+
+// Next returns the next event.
+func (r *Reader) Next() (uint64, error) { return 0, errors.New("eof") }
+
+// NewReader opens a reader.
+func NewReader() (*Reader, error) { return &Reader{}, nil }

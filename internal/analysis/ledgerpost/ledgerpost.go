@@ -1,0 +1,197 @@
+// Package ledgerpost checks that every off-chip block transfer booked
+// in the bandwidth ledger is also posted to the memory-traffic hook.
+//
+// Invariant protected: the paper's "extra bandwidth" metric and the
+// bank-interleaving analyses (internal/memctl) replay the exact
+// sequence of blocks the system moves over the memory interface. The
+// ledger (core.Bandwidth.DemandFetches / .WriteBacks) and the
+// OnMemoryTraffic hook (posted via noteTraffic) must stay in lockstep:
+// a fetch path that increments the ledger without posting the block
+// silently corrupts the traffic stream, and the resulting bandwidth
+// numbers still look plausible.
+//
+// The check: an increment of a Bandwidth off-chip counter
+// (DemandFetches or WriteBacks; StreamFills and VictimFills are on-chip
+// and exempt) must have a traffic post — a call whose name matches
+// noteTraffic / postTraffic / OnMemoryTraffic / postBandwidth — as a
+// direct statement of the increment's own block or of an enclosing
+// block, i.e. on every path that reaches the increment. A post buried
+// in a sibling branch does not count.
+package ledgerpost
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"streamsim/internal/analysis"
+)
+
+// Analyzer is the ledgerpost pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ledgerpost",
+	Doc: "flags bandwidth-ledger increments (Bandwidth.DemandFetches/" +
+		"WriteBacks) with no matching memory-traffic post in the same or an " +
+		"enclosing block",
+	PackagePrefixes: []string{
+		"streamsim/internal/core",
+		"streamsim/internal/mem",
+		"streamsim/internal/memctl",
+	},
+	Run: run,
+}
+
+// offChipFields are the Bandwidth counters that represent actual
+// chip↔memory transfers and therefore require a traffic post.
+var offChipFields = map[string]bool{
+	"DemandFetches": true,
+	"WriteBacks":    true,
+}
+
+// postName matches the traffic-posting helpers.
+var postName = regexp.MustCompile(`(?i)^(notetraffic|posttraffic|onmemorytraffic|postbandwidth)$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkList(pass, fn.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// checkList verifies one statement list. ancestorPost reports whether a
+// traffic post is a direct statement of some enclosing list.
+func checkList(pass *analysis.Pass, stmts []ast.Stmt, ancestorPost bool) {
+	covered := ancestorPost
+	for _, stmt := range stmts {
+		if directHasPost(pass, stmt) {
+			covered = true
+			break
+		}
+	}
+	for _, stmt := range stmts {
+		walkShallow(stmt, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC {
+					checkIncrement(pass, covered, n.X, n.Pos())
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+					checkIncrement(pass, covered, n.Lhs[0], n.Pos())
+				}
+			}
+		})
+		forEachNestedList(stmt, func(nested []ast.Stmt, fresh bool) {
+			if fresh {
+				// A function literal starts its own accounting scope.
+				checkList(pass, nested, false)
+			} else {
+				checkList(pass, nested, covered)
+			}
+		})
+	}
+}
+
+// checkIncrement reports lhs when it is an off-chip Bandwidth counter
+// and no post covers the path to it.
+func checkIncrement(pass *analysis.Pass, covered bool, lhs ast.Expr, pos token.Pos) {
+	if covered {
+		return
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok || !offChipFields[sel.Sel.Name] || !isBandwidthField(pass, sel) {
+		return
+	}
+	pass.Reportf(pos,
+		"ledger increment of %s has no memory-traffic post (noteTraffic) in this or an enclosing block; the bandwidth ledger and the traffic hook must move in lockstep",
+		sel.Sel.Name)
+}
+
+// isBandwidthField reports whether sel selects a field of a struct type
+// named Bandwidth.
+func isBandwidthField(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Bandwidth"
+}
+
+// isPost reports whether call invokes a traffic-posting helper.
+func isPost(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	return postName.MatchString(name)
+}
+
+// directHasPost reports whether stmt contains a traffic post outside
+// any nested statement list (i.e. unconditionally executed when stmt's
+// list runs straight through).
+func directHasPost(pass *analysis.Pass, stmt ast.Stmt) bool {
+	found := false
+	walkShallow(stmt, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && isPost(call) {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkShallow visits stmt's subtree but does not descend into nested
+// statement lists (blocks, switch cases, select clauses) or function
+// literals.
+func walkShallow(stmt ast.Stmt, visit func(ast.Node)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause, *ast.FuncLit:
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// forEachNestedList invokes f on every statement list nested one level
+// below stmt. fresh marks function-literal bodies, which do not inherit
+// the enclosing function's coverage.
+func forEachNestedList(stmt ast.Stmt, f func(nested []ast.Stmt, fresh bool)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			f(n.Body.List, true)
+			return false
+		case *ast.BlockStmt:
+			f(n.List, false)
+			return false
+		case *ast.CaseClause:
+			f(n.Body, false)
+			return false
+		case *ast.CommClause:
+			f(n.Body, false)
+			return false
+		}
+		return true
+	})
+}

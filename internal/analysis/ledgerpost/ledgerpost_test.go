@@ -1,0 +1,18 @@
+package ledgerpost_test
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+	"streamsim/internal/analysis/ledgerpost"
+)
+
+func TestLedgerPost(t *testing.T) {
+	dir := analysistest.TestData(t)
+	for _, pkg := range []string{"a", "b"} {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, dir, ledgerpost.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,51 @@
+// Package a exercises the ledgerpost positive cases: off-chip ledger
+// increments whose block transfer is never posted to the traffic hook.
+package a
+
+// Bandwidth mirrors core.Bandwidth's off-chip ledger.
+type Bandwidth struct {
+	DemandFetches uint64
+	StreamFills   uint64
+	WriteBacks    uint64
+}
+
+type system struct {
+	bw      Bandwidth
+	onBlock func(blk uint64)
+}
+
+func (s *system) noteTraffic(blk uint64) {
+	if s.onBlock != nil {
+		s.onBlock(blk)
+	}
+}
+
+// fetchWithoutPost increments the ledger and forgets the hook entirely.
+func (s *system) fetchWithoutPost(blk uint64) {
+	s.bw.DemandFetches++ // want `ledger increment of DemandFetches has no memory-traffic post`
+}
+
+// writeBackSiblingPost posts only in the other branch: the write-back
+// path still corrupts the traffic stream.
+func (s *system) writeBackSiblingPost(blk uint64, dirty bool) {
+	if dirty {
+		s.bw.WriteBacks++ // want `ledger increment of WriteBacks has no memory-traffic post`
+	} else {
+		s.noteTraffic(blk)
+	}
+}
+
+// addAssignWithoutPost uses the compound form; still a ledger increment.
+func (s *system) addAssignWithoutPost(n uint64) {
+	s.bw.DemandFetches += n // want `ledger increment of DemandFetches has no memory-traffic post`
+}
+
+// closurePost posts only inside a deferred closure that the analyzer
+// treats as a separate scope: the straight-line path has no post.
+func (s *system) closurePost(blk uint64) {
+	cleanup := func() {
+		s.noteTraffic(blk)
+	}
+	_ = cleanup
+	s.bw.WriteBacks++ // want `ledger increment of WriteBacks has no memory-traffic post`
+}

@@ -1,0 +1,62 @@
+// Package b exercises the ledgerpost negative cases: increments paired
+// with a post in the same or an enclosing block, on-chip counters, and
+// unrelated types.
+package b
+
+// Bandwidth mirrors core.Bandwidth's off-chip ledger.
+type Bandwidth struct {
+	DemandFetches uint64
+	StreamFills   uint64
+	VictimFills   uint64
+	WriteBacks    uint64
+}
+
+type system struct {
+	bw      Bandwidth
+	onBlock func(blk uint64)
+}
+
+func (s *system) noteTraffic(blk uint64) {
+	if s.onBlock != nil {
+		s.onBlock(blk)
+	}
+}
+
+// sameBlock is the canonical pattern: increment and post side by side.
+func (s *system) sameBlock(blk uint64) {
+	s.bw.DemandFetches++
+	s.noteTraffic(blk)
+}
+
+// enclosingBlock increments inside a branch whose enclosing list posts
+// unconditionally.
+func (s *system) enclosingBlock(blk uint64, dirty bool) {
+	if dirty {
+		s.bw.WriteBacks++
+	}
+	s.noteTraffic(blk)
+}
+
+// nestedBranch pairs increment and post inside the same inner block,
+// mirroring core's victim write-back path.
+func (s *system) nestedBranch(blk uint64, wb bool) {
+	if wb {
+		s.bw.WriteBacks++
+		s.noteTraffic(blk)
+	}
+}
+
+// onChip counters (stream and victim fills) move no off-chip blocks and
+// need no post.
+func (s *system) onChip() {
+	s.bw.StreamFills++
+	s.bw.VictimFills++
+}
+
+// otherType has the same field names on an unrelated struct; only the
+// Bandwidth ledger is checked.
+type tally struct{ DemandFetches uint64 }
+
+func bump(t *tally) {
+	t.DemandFetches++
+}

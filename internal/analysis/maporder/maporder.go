@@ -1,0 +1,80 @@
+// Package maporder flags range statements over maps in the simulator's
+// hot paths.
+//
+// Invariant protected: Go randomizes map iteration order, so any stats
+// accumulation or replacement decision reached by ranging over a map
+// differs from run to run, breaking the bit-identical replay the golden
+// tests (and the paper's methodology) depend on. The hardware models
+// (internal/core, internal/stream, internal/filter, internal/cache and
+// friends) therefore use slices with explicit indices; a map range that
+// creeps in is either a determinism bug or must justify itself with a
+// //simlint:ignore maporder directive proving the loop body is
+// order-insensitive (e.g. a pure sum).
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamsim/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range over maps in simulation hot paths, where iteration " +
+		"order would leak into stats or replacement decisions",
+	PackagePrefixes: []string{
+		"streamsim/internal/core",
+		"streamsim/internal/stream",
+		"streamsim/internal/filter",
+		"streamsim/internal/cache",
+		"streamsim/internal/prefetch",
+		"streamsim/internal/victim",
+		"streamsim/internal/tab",
+		"streamsim/internal/mem",
+		"streamsim/internal/memctl",
+		"streamsim/internal/timing",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s iterates in nondeterministic order; iterate a sorted key slice, or mark the loop //simlint:ignore maporder if it is provably order-insensitive",
+				exprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// exprString renders simple range operands for the message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,18 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+	"streamsim/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	dir := analysistest.TestData(t)
+	for _, pkg := range []string{"a", "b"} {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, dir, maporder.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,28 @@
+// Package a exercises the maporder positive cases.
+package a
+
+// stats mimics a hot-path accumulator keyed by block address.
+type stats struct {
+	perBlock map[uint64]uint64
+}
+
+// leakOrder folds map iteration order into an output slice: the classic
+// nondeterminism bug the analyzer exists to catch.
+func (s *stats) leakOrder() []uint64 {
+	var out []uint64
+	for blk := range s.perBlock { // want `range over map s\.perBlock iterates in nondeterministic order`
+		out = append(out, blk)
+	}
+	return out
+}
+
+func leakLocal(counts map[string]int) string {
+	best := ""
+	for k, v := range counts { // want `range over map counts iterates in nondeterministic order`
+		if v > 0 {
+			best = k
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,31 @@
+// Package b exercises the maporder negative cases: slice iteration,
+// sorted-key iteration, and an explicitly waived order-insensitive sum.
+package b
+
+import "sort"
+
+func slices(entries []uint64) uint64 {
+	var sum uint64
+	for _, e := range entries {
+		sum += e
+	}
+	return sum
+}
+
+func sortedKeys(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	//simlint:ignore maporder
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func waivedSum(counts map[uint64]uint64) uint64 {
+	var total uint64
+	for _, v := range counts { //simlint:ignore maporder
+		total += v
+	}
+	return total
+}

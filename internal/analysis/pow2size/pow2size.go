@@ -1,0 +1,236 @@
+// Package pow2size flags cache-geometry sizes that are not powers of
+// two, and mask/mod arithmetic on unvalidated size variables.
+//
+// Invariant protected: the simulator's address arithmetic — block
+// extraction, set indexing, and Section 3/7's czone partitioning — is
+// mask-and-shift over the physical address, which is only equivalent to
+// the division it stands for when block, cache, and czone sizes are
+// powers of two. A non-power-of-two size silently aliases addresses and
+// produces plausible but wrong hit rates.
+//
+// Two rules:
+//
+//  1. A constant integer bound to a name matching *BlockSize,
+//     *BlockBytes, *CacheSize, *SizeBytes, *CzoneSize, *WordBytes or
+//     *Assoc (composite literal key, assignment, or declaration) must
+//     be zero (disabled; validated at run time) or a power of two.
+//
+//  2. Mask or modulus arithmetic (y & (v-1), y % v) on a plain
+//     variable v with such a name is flagged unless the enclosing
+//     function also validates v: contains the v&(v-1) power-of-two
+//     test itself, or passes v to a function whose name mentions
+//     pow2/valid/check (e.g. config's checker, mem.NewGeometry).
+//     Struct fields (g.blockBytes) are exempt: constructors validate
+//     them before they are stored.
+package pow2size
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+
+	"streamsim/internal/analysis"
+)
+
+// Analyzer is the pow2size pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pow2size",
+	Doc: "flags non-power-of-two constants bound to size/assoc names, and " +
+		"mask/mod arithmetic on size variables never validated as powers of two",
+	Run: run,
+}
+
+// sizeName matches identifiers that carry power-of-two geometry.
+var sizeName = regexp.MustCompile(`(?i)(blocksize|blockbytes|cachesize|sizebytes|czonesize|czonebytes|wordbytes|assoc)$`)
+
+// validatorName matches functions that establish the invariant.
+var validatorName = regexp.MustCompile(`(?i)(pow2|valid|check|newgeometry)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && sizeName.MatchString(key.Name) {
+						checkConstant(pass, key.Name, kv.Value)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if name, ok := bindingName(lhs); ok && sizeName.MatchString(name) {
+						checkConstant(pass, name, n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i >= len(n.Values) {
+						break
+					}
+					if sizeName.MatchString(name.Name) {
+						checkConstant(pass, name.Name, n.Values[i])
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMaskUses(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bindingName extracts the assigned identifier or field name.
+func bindingName(lhs ast.Expr) (string, bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return lhs.Name, true
+	case *ast.SelectorExpr:
+		return lhs.Sel.Name, true
+	}
+	return "", false
+}
+
+// checkConstant reports expr when it folds to a positive non-power-of-
+// two integer constant.
+func checkConstant(pass *analysis.Pass, name string, expr ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	v, ok := constant.Uint64Val(tv.Value)
+	if !ok {
+		// Negative: certainly not a power of two.
+		pass.Reportf(expr.Pos(), "%s set to negative constant %s; sizes must be powers of two", name, tv.Value)
+		return
+	}
+	if v == 0 || v&(v-1) == 0 {
+		return // zero means disabled; otherwise a power of two
+	}
+	pass.Reportf(expr.Pos(),
+		"%s set to %d, not a power of two; mask/shift address arithmetic requires power-of-two sizes", name, v)
+}
+
+// checkMaskUses implements rule 2 over one function body.
+func checkMaskUses(pass *analysis.Pass, fn *ast.FuncDecl) {
+	validated := map[string]bool{}
+	type use struct {
+		pos  token.Pos
+		name string
+		op   string
+	}
+	var uses []use
+
+	// REM nodes that appear directly under a comparison are divisibility
+	// tests (entries%assoc != 0), not index arithmetic; ast.Inspect
+	// visits parents first, so they are collected before they are seen.
+	comparisonRem := map[ast.Expr]bool{}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				for _, operand := range []ast.Expr{n.X, n.Y} {
+					if b, ok := unparen(operand).(*ast.BinaryExpr); ok && b.Op == token.REM {
+						comparisonRem[b] = true
+					}
+				}
+			case token.AND, token.AND_NOT:
+				// v & (v-1) is the power-of-two test itself: it
+				// validates v. y & (v-1) with y != v is a mask use.
+				v, ok := maskOperand(n.Y)
+				if !ok {
+					return true
+				}
+				if lhs, ok := n.X.(*ast.Ident); ok && lhs.Name == v {
+					validated[v] = true
+					return true
+				}
+				if sizeName.MatchString(v) {
+					uses = append(uses, use{n.Pos(), v, "mask"})
+				}
+			case token.REM:
+				if comparisonRem[n] {
+					return true // divisibility test, not arithmetic
+				}
+				if id, ok := n.Y.(*ast.Ident); ok && sizeName.MatchString(id.Name) {
+					uses = append(uses, use{n.Pos(), id.Name, "modulus"})
+				}
+			}
+		case *ast.CallExpr:
+			var calleeName string
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				calleeName = fun.Name
+			case *ast.SelectorExpr:
+				calleeName = fun.Sel.Name
+			}
+			if !validatorName.MatchString(calleeName) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					validated[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if validated[u.name] {
+			continue
+		}
+		pass.Reportf(u.pos,
+			"%s arithmetic on %s, which this function never validates as a power of two; check it (v&(v-1)==0) or route it through a validating constructor",
+			u.op, u.name)
+	}
+}
+
+// maskOperand unwraps (v - 1) and returns v's identifier name.
+func maskOperand(e ast.Expr) (string, bool) {
+	e = unparen(e)
+	sub, ok := e.(*ast.BinaryExpr)
+	if !ok || sub.Op != token.SUB {
+		return "", false
+	}
+	lit, ok := unparen(sub.Y).(*ast.BasicLit)
+	if !ok || lit.Value != "1" {
+		return "", false
+	}
+	// Unwrap conversions like uint64(v) - no: v - 1 only; but allow
+	// Addr(v) - 1 style by looking through a single-arg conversion.
+	x := unparen(sub.X)
+	if call, ok := x.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		x = unparen(call.Args[0])
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,18 @@
+package pow2size_test
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+	"streamsim/internal/analysis/pow2size"
+)
+
+func TestPow2Size(t *testing.T) {
+	dir := analysistest.TestData(t)
+	for _, pkg := range []string{"a", "b"} {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, dir, pow2size.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,40 @@
+// Package a exercises the pow2size positive cases.
+package a
+
+// Config mimics the simulator's cache configuration.
+type Config struct {
+	SizeBytes  uint
+	Assoc      uint
+	BlockBytes uint
+	CzoneSize  uint
+}
+
+func badLiterals() Config {
+	return Config{
+		SizeBytes:  100 << 10, // want `SizeBytes set to 102400, not a power of two`
+		Assoc:      3,         // want `Assoc set to 3, not a power of two`
+		BlockBytes: 64,
+		CzoneSize:  3000, // want `CzoneSize set to 3000, not a power of two`
+	}
+}
+
+func badAssignments() {
+	var cfg Config
+	cfg.SizeBytes = 48 << 10 // want `SizeBytes set to 49152, not a power of two`
+	blockSize := 100         // want `blockSize set to 100, not a power of two`
+	_ = blockSize
+	_ = cfg
+}
+
+const defaultCacheSize = 3 << 10 // want `defaultCacheSize set to 3072, not a power of two`
+
+// unvalidatedMask uses a size parameter in mask arithmetic without ever
+// validating it.
+func unvalidatedMask(addr uint64, czoneSize uint64) uint64 {
+	return addr & (czoneSize - 1) // want `mask arithmetic on czoneSize, which this function never validates`
+}
+
+// unvalidatedMod uses a size parameter as a modulus without validation.
+func unvalidatedMod(addr uint64, cacheSize uint64) uint64 {
+	return addr % cacheSize // want `modulus arithmetic on cacheSize, which this function never validates`
+}

@@ -1,0 +1,67 @@
+// Package b exercises the pow2size negative cases: power-of-two
+// constants, zero (disabled) sizes, the v&(v-1) validation idiom, and
+// validator-routed parameters.
+package b
+
+import "fmt"
+
+// Config mimics the simulator's cache configuration.
+type Config struct {
+	SizeBytes  uint
+	Assoc      uint
+	BlockBytes uint
+}
+
+func goodLiterals() Config {
+	return Config{
+		SizeBytes:  64 << 10,
+		Assoc:      4,
+		BlockBytes: 64,
+	}
+}
+
+func disabled() Config {
+	// Zero means "disabled"; run-time validation handles it.
+	return Config{SizeBytes: 0, Assoc: 0}
+}
+
+// selfValidated contains the power-of-two test idiom before its mask
+// use, the pattern mem.NewGeometry follows.
+func selfValidated(addr, blockSize uint64) (uint64, error) {
+	if blockSize == 0 || blockSize&(blockSize-1) != 0 {
+		return 0, fmt.Errorf("block size %d not a power of two", blockSize)
+	}
+	return addr & (blockSize - 1), nil
+}
+
+func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// validatorRouted passes the size through a named validator first.
+func validatorRouted(addr, cacheSize uint64) uint64 {
+	if !isPow2(cacheSize) {
+		return 0
+	}
+	return addr % cacheSize
+}
+
+// fieldUse masks with a struct field; constructors validate fields, so
+// field selectors are exempt from rule 2.
+type geom struct{ blockBytes uint64 }
+
+func (g geom) base(addr uint64) uint64 {
+	return addr &^ (g.blockBytes - 1)
+}
+
+// nonSizeName is ordinary bit twiddling on names outside the pattern.
+func nonSizeName(x, mask uint64) uint64 {
+	return x & (mask - 1)
+}
+
+// divisibilityTest uses % only inside a comparison: a shape check, not
+// index arithmetic, so no power-of-two validation is demanded.
+func divisibilityTest(entries, assoc int) error {
+	if entries < 1 || assoc < 1 || entries%assoc != 0 {
+		return fmt.Errorf("bad shape %d/%d", entries, assoc)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package seededrand flags uses of math/rand's global source and
+// clock-derived seeds in simulator code.
+//
+// Invariant protected: every run of the simulator must replay
+// bit-identically from its configuration. Random L1 replacement
+// (cache.Config.Seed) and the synthetic NAS/PERFECT trace generators
+// (workload seeds) are only reproducible if all randomness flows
+// through an explicitly seeded *rand.Rand threaded from config; the
+// package-level math/rand functions draw from a process-global source
+// and rand.NewSource(time.Now()...) ties results to the wall clock,
+// either of which silently breaks the golden determinism tests.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamsim/internal/analysis"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "flags math/rand global-source calls and time-seeded sources in " +
+		"simulator packages; randomness must come from a config-seeded *rand.Rand",
+	PackagePrefixes: []string{"streamsim/internal/"},
+	Run:             run,
+}
+
+// globalFns are the package-level math/rand (and /v2) functions that
+// draw from the shared global source.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+func isMathRand(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			obj := calleeObject(pass, call)
+			if obj == nil || !isMathRand(obj.Pkg()) {
+				return true
+			}
+			// Package-level function, not a method on *rand.Rand: a
+			// method's receiver makes Recv() non-nil.
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true
+			}
+			switch {
+			case globalFns[obj.Name()]:
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the global math/rand source; use a *rand.Rand seeded from config so runs replay deterministically",
+					obj.Name())
+			case obj.Name() == "NewSource" || obj.Name() == "New" || obj.Name() == "NewPCG":
+				if argUsesClock(pass, call) {
+					pass.Reportf(call.Pos(),
+						"rand.%s seeded from the clock; use the run's configured seed so runs replay deterministically",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeObject resolves the called function's object, if any.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	}
+	return nil
+}
+
+// argUsesClock reports whether any argument expression calls time.Now.
+// Nested math/rand constructor calls are skipped: they are flagged in
+// their own right, and reporting the outer call too would be noise.
+func argUsesClock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok && inner != call {
+				if obj := calleeObject(pass, inner); obj != nil && isMathRand(obj.Pkg()) {
+					return false
+				}
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now" {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}

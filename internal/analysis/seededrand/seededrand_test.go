@@ -1,0 +1,18 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+	"streamsim/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	dir := analysistest.TestData(t)
+	for _, pkg := range []string{"a", "b"} {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			analysistest.Run(t, dir, seededrand.Analyzer, pkg)
+		})
+	}
+}

@@ -1,0 +1,25 @@
+// Package a exercises the seededrand positive cases: global-source
+// draws and clock seeding, all of which must be flagged.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() int {
+	n := rand.Intn(10)           // want `rand\.Intn draws from the global math/rand source`
+	f := rand.Float64()          // want `rand\.Float64 draws from the global math/rand source`
+	rand.Shuffle(4, func(int, int) {}) // want `rand\.Shuffle draws from the global math/rand source`
+	rand.Seed(42)                // want `rand\.Seed draws from the global math/rand source`
+	_ = f
+	return n
+}
+
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the clock`
+}
+
+func clockSeededDirect() rand.Source {
+	return rand.NewSource(int64(time.Now().Nanosecond())) // want `rand\.NewSource seeded from the clock`
+}

@@ -1,0 +1,22 @@
+// Package b exercises the seededrand negative cases: explicitly seeded
+// sources threaded from configuration, and method calls on a local
+// *rand.Rand, none of which may be flagged.
+package b
+
+import "math/rand"
+
+// Config carries the run's seed, the pattern the analyzer demands.
+type Config struct {
+	Seed int64
+}
+
+func seeded(cfg Config) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return rng.Intn(10)
+}
+
+func seededConstant() float64 {
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(4, func(int, int) {})
+	return rng.Float64()
+}

@@ -1,0 +1,16 @@
+// Package suppress is a fixture for the //simlint:ignore directive
+// test: three returns, two of them waived.
+package suppress
+
+func same() int {
+	return 1 //simlint:ignore retlint
+}
+
+func nextLine() int {
+	//simlint:ignore retlint
+	return 2
+}
+
+func reported() int {
+	return 3
+}

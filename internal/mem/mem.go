@@ -79,14 +79,33 @@ type Geometry struct {
 	blockShift uint
 }
 
+// The paper's assumed geometry: 4-byte words, 64-byte cache blocks.
+const (
+	defaultWordBytes  = 4
+	defaultBlockBytes = 64
+)
+
+// Compile-time guards on the default geometry: editing the constants
+// above to an invalid combination must fail the build, not panic (or
+// silently corrupt address arithmetic) in every importing program.
+// A violated guard makes the array length negative.
+var (
+	_ [defaultWordBytes - 1]struct{}                           // word size >= 1
+	_ [-(defaultWordBytes & (defaultWordBytes - 1))]struct{}   // word size a power of two
+	_ [-(defaultBlockBytes & (defaultBlockBytes - 1))]struct{} // block size a power of two
+	_ [defaultBlockBytes - defaultWordBytes]struct{}           // block size >= word size
+)
+
 // DefaultGeometry matches the paper's assumptions: 4-byte words and
-// 64-byte cache blocks.
+// 64-byte cache blocks. The constants are validated at compile time
+// (see the guards above), so no error path exists.
 func DefaultGeometry() Geometry {
-	g, err := NewGeometry(4, 64)
-	if err != nil {
-		panic(err) // unreachable: constants are valid
+	return Geometry{
+		wordBytes:  defaultWordBytes,
+		blockBytes: defaultBlockBytes,
+		wordShift:  log2(defaultWordBytes),
+		blockShift: log2(defaultBlockBytes),
 	}
-	return g
 }
 
 // NewGeometry builds a Geometry with the given word and block sizes in

@@ -381,16 +381,16 @@ func newAppbt(size Size) (*Workload, error) {
 		n = 24
 	}
 	cells := n * n * n
-	const blockBytes = 200 // 5x5 doubles
+	const jacBytes = 200 // one 5x5 Jacobian block of doubles (not a cache-geometry size)
 	return &Workload{
 		Name: "appbt", Suite: "NAS",
 		Description: "Fluid dynamics (block tridiagonal ADI)",
 		Input:       fmt3d(n) + " grid",
-		DataBytes:   uint64(3 * cells * blockBytes),
+		DataBytes:   uint64(3 * cells * jacBytes),
 		run: func(m *Machine, scale float64) {
-			jacA := m.Alloc(uint64(cells * blockBytes))
-			jacB := m.Alloc(uint64(cells * blockBytes))
-			jacC := m.Alloc(uint64(cells * blockBytes))
+			jacA := m.Alloc(uint64(cells * jacBytes))
+			jacB := m.Alloc(uint64(cells * jacBytes))
+			jacC := m.Alloc(uint64(cells * jacBytes))
 			rhs := m.Alloc(uint64(cells * 5 * dbl))
 			lhs := m.Alloc(4 << 10) // factored 5x5 pivot tile: resident
 			rng := m.Rand()
@@ -401,7 +401,7 @@ func newAppbt(size Size) (*Workload, error) {
 				// pivot tile.
 				for c := 0; c < cells; c++ {
 					m.Loop(0)
-					m.BlockRun(jacA+mem.Addr(c*blockBytes), blockBytes, 3)
+					m.BlockRun(jacA+mem.Addr(c*jacBytes), jacBytes, 3)
 					for k := 0; k < 10; k++ {
 						m.Load(lhs + mem.Addr(((c+k*37)%512)*8))
 						m.Inst(8)
@@ -425,7 +425,7 @@ func newAppbt(size Size) (*Workload, error) {
 							if rng.Intn(2) == 1 {
 								jac = jacC
 							}
-							m.BlockRun(jac+mem.Addr(c*blockBytes), blockBytes, 3)
+							m.BlockRun(jac+mem.Addr(c*jacBytes), jacBytes, 3)
 							for w := 0; w < 10; w++ {
 								m.Load(lhs + mem.Addr(((c+w*41)%512)*8))
 								m.Inst(8)
@@ -444,7 +444,7 @@ func newAppbt(size Size) (*Workload, error) {
 							if rng.Intn(2) == 1 {
 								jac = jacB
 							}
-							m.BlockRun(jac+mem.Addr(c*blockBytes), blockBytes, 3)
+							m.BlockRun(jac+mem.Addr(c*jacBytes), jacBytes, 3)
 							for w := 0; w < 10; w++ {
 								m.Load(lhs + mem.Addr(((c+w*43)%512)*8))
 								m.Inst(8)
