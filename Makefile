@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race fuzz fuzz-smoke bench paper quick examples clean
+.PHONY: all build test lint vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update paper quick examples clean
 
 all: build lint test
 
@@ -39,6 +39,26 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Hot-path benchmark regexp shared by the bench-* gates below.
+BENCH_HOT = SystemThroughput$$|SystemThroughputBatch$$|TraceReplay$$|TraceReplayScalar$$
+
+# bench-smoke is the CI gate: one iteration per hot-path benchmark,
+# checked against the committed baseline (BENCH_after.json) by
+# cmd/benchrun. Allocation regressions fail on any machine; timing
+# regressions >20% fail only where the sample is long enough to trust
+# and the CPU matches the baseline's (see cmd/benchrun docs).
+bench-smoke:
+	$(GO) run ./cmd/benchrun -bench '$(BENCH_HOT)' -benchtime 1x -baseline BENCH_after.json
+
+# bench-check is the same gate with real timings, for same-machine use
+# before sending a performance-sensitive change.
+bench-check:
+	$(GO) run ./cmd/benchrun -bench '$(BENCH_HOT)' -benchtime 2s -count 3 -baseline BENCH_after.json
+
+# bench-update refreshes the committed baseline on this machine.
+bench-update:
+	$(GO) run ./cmd/benchrun -bench '$(BENCH_HOT)' -benchtime 2s -count 5 -baseline BENCH_after.json -update
 
 # Regenerate every table and figure of the paper at full scale.
 paper:

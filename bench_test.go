@@ -15,6 +15,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"streamsim/internal/cache"
@@ -23,6 +24,7 @@ import (
 	"streamsim/internal/filter"
 	"streamsim/internal/mem"
 	"streamsim/internal/stream"
+	"streamsim/internal/trace"
 	"streamsim/internal/workload"
 )
 
@@ -324,6 +326,122 @@ func BenchmarkSystemThroughput(b *testing.B) {
 		}
 		sys.Access(mem.Access{Addr: a, Kind: mem.Read})
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkSystemThroughputBatch is BenchmarkSystemThroughput through
+// the batched entry point: the same reference stream delivered in
+// trace.ReplayBatchLen chunks via System.AccessBatch, the shape every
+// replay loop uses.
+func BenchmarkSystemThroughputBatch(b *testing.B) {
+	sys, err := core.New(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]mem.Access, trace.ReplayBatchLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(batch) {
+		n := len(batch)
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			k := i + j
+			a := mem.Addr(1<<24 + k*8)
+			if k&7 == 0 {
+				a = mem.Addr(1<<26 + (k*7919)&(1<<22-1))
+			}
+			batch[j] = mem.Access{Addr: a, Kind: mem.Read}
+		}
+		sys.AccessBatch(batch[:n])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// replayTrace memoizes one recorded workload trace for the replay
+// benchmarks: mgrid at scale 0.2 — long unit-stride streams with
+// stencil reuse, the trace shape every experiment replays most.
+var replayTrace struct {
+	once  sync.Once
+	store *trace.Store
+	accs  []mem.Access
+	err   error
+}
+
+func replayFixture(b *testing.B) (*trace.Store, []mem.Access) {
+	b.Helper()
+	replayTrace.once.Do(func() {
+		w, err := workload.New("mgrid", workload.SizeSmall)
+		if err != nil {
+			replayTrace.err = err
+			return
+		}
+		st := trace.NewStore(int(workload.EstimateRefs("mgrid", workload.SizeSmall, 0.2)))
+		sink := &storeSink{store: st}
+		if err := w.Run(sink, 0.2); err != nil {
+			replayTrace.err = err
+			return
+		}
+		replayTrace.store = st
+		buf := make([]mem.Access, trace.ReplayBatchLen)
+		it := st.Iter()
+		for n := it.Next(buf); n > 0; n = it.Next(buf) {
+			replayTrace.accs = append(replayTrace.accs, buf[:n]...)
+		}
+	})
+	if replayTrace.err != nil {
+		b.Fatal(replayTrace.err)
+	}
+	return replayTrace.store, replayTrace.accs
+}
+
+// storeSink adapts a trace.Store to workload.Sink for recording.
+type storeSink struct{ store *trace.Store }
+
+func (s *storeSink) Access(a mem.Access)           { s.store.Append(a) }
+func (s *storeSink) AccessBatch(accs []mem.Access) { s.store.AppendBatch(accs) }
+func (s *storeSink) AddInstructions(uint64)        {}
+
+// BenchmarkTraceReplay measures the experiment replay path end to end:
+// decode the compact trace store in batches and feed System.AccessBatch.
+// One op is one full-trace replay; refs/s is the headline simulator
+// throughput number cmd/benchrun tracks.
+func BenchmarkTraceReplay(b *testing.B) {
+	store, _ := replayFixture(b)
+	refs := store.Len()
+	buf := make([]mem.Access, trace.ReplayBatchLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		it := store.Iter()
+		for n := it.Next(buf); n > 0; n = it.Next(buf) {
+			sys.AccessBatch(buf[:n])
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkTraceReplayScalar replays the same trace the way the
+// experiments did before batching existed: a materialized []mem.Access
+// walked with one System.Access call per reference. Kept as the
+// comparison point for BenchmarkTraceReplay (it is also the memory
+// shape the compact store replaced: 24 bytes per reference).
+func BenchmarkTraceReplayScalar(b *testing.B) {
+	_, accs := replayFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range accs {
+			sys.Access(a)
+		}
+	}
+	b.ReportMetric(float64(len(accs))*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
 }
 
 // BenchmarkWorkloadGeneration measures trace-generation speed (the

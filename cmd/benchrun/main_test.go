@@ -1,0 +1,153 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: streamsim
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSystemThroughput-4     	100000000	        21.10 ns/op	  47401659 refs/s	       0 B/op	       0 allocs/op
+BenchmarkSystemThroughput-4     	120000000	        19.27 ns/op	  51892474 refs/s	       0 B/op	       0 allocs/op
+BenchmarkTraceReplay-4          	     280	   8567566 ns/op	  52584903 refs/s	       3 B/op	       0 allocs/op
+PASS
+ok  	streamsim	31.816s
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	rep := parseSample(t)
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.GOOS, rep.GOARCH)
+	}
+	if rep.CPU != "Intel(R) Xeon(R) CPU @ 2.10GHz" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	st := rep.Benchmarks["SystemThroughput"]
+	if st == nil {
+		t.Fatal("SystemThroughput missing (GOMAXPROCS suffix not stripped?)")
+	}
+	// Two counts: the merged stat keeps the best of each column.
+	if st.NsPerOp != 19.27 {
+		t.Errorf("ns/op = %v, want best-of 19.27", st.NsPerOp)
+	}
+	if got := st.Metrics["refs/s"]; got != 51892474 {
+		t.Errorf("refs/s = %v, want best-of 51892474", got)
+	}
+	if st.AllocsPerOp != 0 || st.BytesPerOp != 0 {
+		t.Errorf("allocs/op=%v B/op=%v, want 0/0", st.AllocsPerOp, st.BytesPerOp)
+	}
+	if tr := rep.Benchmarks["TraceReplay"]; tr == nil || tr.NsPerOp != 8567566 {
+		t.Errorf("TraceReplay = %+v", tr)
+	}
+}
+
+func TestCompareSameCPU(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+
+	// Identical runs: clean.
+	if problems, _ := compare(base, cur, 0.2); len(problems) != 0 {
+		t.Errorf("identical reports fail: %v", problems)
+	}
+
+	// 30% slowdown and a matching metric drop: two timing failures.
+	cur = parseSample(t)
+	cur.Benchmarks["SystemThroughput"].NsPerOp *= 1.3
+	cur.Benchmarks["SystemThroughput"].Metrics["refs/s"] /= 1.3
+	problems, _ := compare(base, cur, 0.2)
+	if len(problems) != 2 {
+		t.Errorf("got %d problems, want 2 (ns/op + refs/s): %v", len(problems), problems)
+	}
+
+	// 10% slowdown: inside the 20% tolerance.
+	cur = parseSample(t)
+	cur.Benchmarks["SystemThroughput"].NsPerOp *= 1.1
+	if problems, _ := compare(base, cur, 0.2); len(problems) != 0 {
+		t.Errorf("10%% slowdown fails a 20%% gate: %v", problems)
+	}
+
+	// New allocation on a zero-alloc baseline: hard failure.
+	cur = parseSample(t)
+	cur.Benchmarks["SystemThroughput"].AllocsPerOp = 1
+	if problems, _ := compare(base, cur, 0.2); len(problems) != 1 {
+		t.Errorf("allocation regression not caught: %v", problems)
+	}
+
+	// Missing benchmark: hard failure.
+	cur = parseSample(t)
+	delete(cur.Benchmarks, "TraceReplay")
+	if problems, _ := compare(base, cur, 0.2); len(problems) != 1 {
+		t.Errorf("missing benchmark not caught: %v", problems)
+	}
+}
+
+func TestCompareShortSample(t *testing.T) {
+	base := parseSample(t)
+	// A smoke run: one iteration of a ~20ns benchmark is timer noise,
+	// so its (terrible) timing must be noted, not failed; the
+	// whole-trace replay's single 8.5ms iteration still gates.
+	cur := parseSample(t)
+	st := cur.Benchmarks["SystemThroughput"]
+	st.Iterations = 1
+	st.NsPerOp = 3263
+	st.Metrics["refs/s"] = 394789
+	problems, notes := compare(base, cur, 0.2)
+	if len(problems) != 0 {
+		t.Errorf("one-iteration noise failed the gate: %v", problems)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "SystemThroughput") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no skip note for the short sample: %v", notes)
+	}
+
+	// The replay benchmark at one iteration is still > 1ms of sample:
+	// a 30% slowdown there must fail.
+	cur = parseSample(t)
+	tr := cur.Benchmarks["TraceReplay"]
+	tr.Iterations = 1
+	tr.NsPerOp *= 1.3
+	tr.Metrics["refs/s"] /= 1.3
+	if problems, _ := compare(base, cur, 0.2); len(problems) != 2 {
+		t.Errorf("slow >1ms sample not gated: %v", problems)
+	}
+}
+
+func TestCompareDifferentCPU(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	cur.CPU = "AMD EPYC 7B13"
+	// Timings are incomparable across machines: a huge slowdown is
+	// noted but not failed...
+	cur.Benchmarks["SystemThroughput"].NsPerOp *= 10
+	problems, notes := compare(base, cur, 0.2)
+	if len(problems) != 0 {
+		t.Errorf("cross-CPU timing delta failed the gate: %v", problems)
+	}
+	if len(notes) == 0 {
+		t.Error("cross-CPU comparison produced no note")
+	}
+	// ...but the deterministic allocation gate still applies.
+	cur.Benchmarks["SystemThroughput"].AllocsPerOp = 2
+	if problems, _ := compare(base, cur, 0.2); len(problems) != 1 {
+		t.Errorf("cross-CPU allocation regression not caught: %v", problems)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"streamsim/internal/experiments"
+	"streamsim/internal/profiling"
 )
 
 func main() {
@@ -30,7 +31,7 @@ func main() {
 }
 
 // run parses args and executes; separated from main for testing.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("paperexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -40,10 +41,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timed  = fs.Bool("time", false, "print per-experiment wall time")
 		plotIt = fs.Bool("plot", false, "render figure experiments as ASCII charts too")
 		format = fs.String("format", "text", "output format: text or csv")
+		cpupr  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		mempr  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := profiling.Start(*cpupr, *mempr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stop(); err == nil {
+			err = perr
+		}
+	}()
 	if *format != "text" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (text or csv)", *format)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"streamsim/internal/core"
 	"streamsim/internal/plot"
+	"streamsim/internal/profiling"
 	"streamsim/internal/tab"
 	"streamsim/internal/timing"
 	"streamsim/internal/workload"
@@ -99,7 +100,7 @@ func paramNames() string {
 }
 
 // run parses args and executes; separated from main for testing.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -110,10 +111,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale  = fs.Float64("scale", 0.5, "workload iteration scale in (0, 1]")
 		sizeS  = fs.String("size", "small", "input size: small or large")
 		plotIt = fs.Bool("plot", false, "render the sweep as an ASCII chart")
+		cpupr  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		mempr  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, err := profiling.Start(*cpupr, *mempr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stop(); err == nil {
+			err = perr
+		}
+	}()
 	if *name == "" || *param == "" || *values == "" {
 		return fmt.Errorf("-workload, -param and -values are required")
 	}

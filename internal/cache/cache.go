@@ -10,10 +10,7 @@
 // bandwidth study needs.
 package cache
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // Replacement selects the victim way on a miss in a full set.
 type Replacement uint8
@@ -110,19 +107,30 @@ type Config struct {
 	Seed int64
 }
 
-// line is one way of one set.
-type line struct {
-	tag      uint64
-	valid    bool
-	dirty    bool
-	lastUse  uint64 // LRU timestamp
-	filledAt uint64 // FIFO timestamp
-}
+// Line state is kept struct-of-arrays (tags, packed valid/dirty flags,
+// and replacement stamps) rather than as an array of line structs: the
+// access path's tag scan then reads 8 bytes per way instead of a 32-byte
+// struct, which keeps far more of the simulated cache resident in the
+// host CPU's own caches. The stamp arrays are written only when the
+// replacement policy reads them.
+const (
+	flagValid = 1 << 0
+	flagDirty = 1 << 1
+)
+
+// invalidTag occupies the tag slot of an invalid way so the probe
+// loop needs no separate valid check. A stored tag could only collide
+// with the sentinel if an access address had all 64 bits set;
+// simulator addresses are bounded by the 62-bit trace format
+// (trace.MaxAddr), so the sentinel is unreachable.
+const invalidTag = ^uint64(0)
 
 // Stats accumulates the observable behaviour of a cache. For a sampled
 // cache the counts cover only the sampled sets.
 type Stats struct {
-	// Accesses is the number of sampled references presented.
+	// Accesses is the number of sampled references presented. It is
+	// derived (Hits + Misses) when Stats is read, so the access path
+	// maintains one counter fewer.
 	Accesses uint64
 	// Hits is the number of sampled references that hit.
 	Hits uint64
@@ -181,14 +189,26 @@ type Result struct {
 }
 
 // Cache is a set-associative cache. It is not safe for concurrent use.
+//
+// Way i of set s lives at flat index s<<assocShift | i in each of the
+// state arrays; the access path does one address computation instead of
+// chasing a per-set slice header (the per-reference simulator hot path).
 type Cache struct {
 	cfg        Config
-	sets       [][]line
+	tags       []uint64
+	meta       []uint8  // flagValid | flagDirty per way
+	used       []uint64 // LRU stamps, written only under LRU
+	filled     []uint64 // FIFO stamps, written only under FIFO
 	numSets    uint
 	blockShift uint
+	tagShift   uint // log2(numSets), precomputed off the access path
+	assocShift uint // log2(Assoc)
 	setMask    uint64
+	sampleMod  uint64 // cfg.SampleEvery when > 1; 0 means every set
+	assoc      uint64 // cfg.Assoc, pre-widened for the probe loop
+	stamped    bool   // replacement policy reads clock stamps
 	clock      uint64
-	rng        *rand.Rand
+	rngState   uint64 // xorshift64* state for Random replacement
 	stats      Stats
 }
 
@@ -198,19 +218,39 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	numSets := cfg.SizeBytes / cfg.BlockBytes / cfg.Assoc
+	ways := numSets * cfg.Assoc
 	c := &Cache{
 		cfg:        cfg,
 		numSets:    numSets,
 		blockShift: log2(cfg.BlockBytes),
+		tagShift:   log2(numSets),
+		assocShift: log2(cfg.Assoc),
 		setMask:    uint64(numSets - 1),
-		sets:       make([][]line, numSets),
+		assoc:      uint64(cfg.Assoc),
+		tags:       make([]uint64, ways),
+		meta:       make([]uint8, ways),
 	}
-	lines := make([]line, numSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i], lines = lines[:cfg.Assoc:cfg.Assoc], lines[cfg.Assoc:]
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	switch cfg.Replacement {
+	case LRU:
+		c.used = make([]uint64, ways)
+	case FIFO:
+		c.filled = make([]uint64, ways)
+	}
+	c.stamped = c.used != nil || c.filled != nil
+	if cfg.SampleEvery > 1 {
+		c.sampleMod = uint64(cfg.SampleEvery)
 	}
 	if cfg.Replacement == Random {
-		c.rng = rand.New(rand.NewSource(cfg.Seed))
+		// Seed the xorshift64* generator from the config seed; the
+		// state must be nonzero, and mixing with a splitmix-style
+		// constant keeps nearby seeds decorrelated.
+		c.rngState = uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+		if c.rngState == 0 {
+			c.rngState = 0x2545F4914F6CDD1D
+		}
 	}
 	return c, nil
 }
@@ -247,7 +287,11 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) NumSets() uint { return c.numSets }
 
 // Stats returns a copy of the accumulated statistics.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	st := c.stats
+	st.Accesses = st.Hits + st.Misses
+	return st
+}
 
 // ResetStats clears the counters without disturbing cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
@@ -255,15 +299,81 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // index splits a byte address into set index and tag.
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	blk := addr >> c.blockShift
-	return blk & c.setMask, blk >> log2size(c.numSets)
+	return blk & c.setMask, blk >> c.tagShift
 }
-
-func log2size(v uint) uint { return log2(v) }
 
 // sampled reports whether set sampling includes this set.
 func (c *Cache) sampled(set uint64) bool {
-	return c.cfg.SampleEvery <= 1 || set%uint64(c.cfg.SampleEvery) == 0
+	return c.sampleMod == 0 || set%c.sampleMod == 0
 }
+
+// base returns the flat index of way 0 of a set.
+func (c *Cache) base(set uint64) uint64 { return set << c.assocShift }
+
+// ProbeStatus is Probe's verdict on a reference.
+type ProbeStatus uint8
+
+// Probe outcomes.
+const (
+	// ProbeHit: the block is resident; finish with HitAt.
+	ProbeHit ProbeStatus = iota
+	// ProbeMiss: the block is absent; finish with MissAt.
+	ProbeMiss
+	// ProbeUnsampled: set sampling skips this reference; finish with
+	// NoteUnsampled.
+	ProbeUnsampled
+)
+
+// Probe is the pure lookup half of an access: it classifies addr and,
+// on a hit, returns the matching way's flat index. It mutates nothing,
+// which keeps it small enough for the compiler to inline into the
+// per-reference simulation loop — on the dominant hit path the whole
+// cache lookup then runs without a function call. Callers MUST pair it
+// with exactly one of HitAt / MissAt / NoteUnsampled to keep the
+// statistics and replacement state coherent; Read and Write wrap the
+// pairing for callers that want one-shot semantics.
+func (c *Cache) Probe(addr uint64) (way uint64, st ProbeStatus) {
+	// Written flat (no index/sampled/base helpers) to stay under the
+	// inlining budget.
+	blk := addr >> c.blockShift
+	set := blk & c.setMask
+	if c.sampleMod != 0 && set%c.sampleMod != 0 {
+		return 0, ProbeUnsampled
+	}
+	tag := blk >> c.tagShift
+	i := set << c.assocShift
+	for end := i + c.assoc; i < end; i++ {
+		if c.tags[i] == tag {
+			return i, ProbeHit
+		}
+	}
+	return 0, ProbeMiss
+}
+
+// HitAt does the bookkeeping of a tag match at the way Probe returned:
+// hit count, replacement clock and LRU stamp, write-policy effects.
+// Inlinable, so the hit path stays call-free end to end.
+func (c *Cache) HitAt(way uint64, write bool) {
+	c.stats.Hits++
+	if c.stamped {
+		// The clock only feeds LRU/FIFO stamps; random-replacement
+		// caches (the paper's L1s) skip the tick.
+		c.clock++
+		if c.used != nil {
+			c.used[way] = c.clock
+		}
+	}
+	if write {
+		if c.cfg.Write == WriteBack {
+			c.meta[way] |= flagDirty
+		} else {
+			c.stats.WriteBacks++
+		}
+	}
+}
+
+// NoteUnsampled counts a reference skipped by set sampling.
+func (c *Cache) NoteUnsampled() { c.stats.Unsampled++ }
 
 // Read presents a load at addr.
 func (c *Cache) Read(addr uint64) Result { return c.access(addr, false) }
@@ -271,34 +381,31 @@ func (c *Cache) Read(addr uint64) Result { return c.access(addr, false) }
 // Write presents a store at addr.
 func (c *Cache) Write(addr uint64) Result { return c.access(addr, true) }
 
-// access is the common hit/miss/fill path.
+// access is the one-shot hit/miss/fill path: Probe plus the matching
+// completion.
 func (c *Cache) access(addr uint64, write bool) Result {
-	set, tag := c.index(addr)
-	if !c.sampled(set) {
-		c.stats.Unsampled++
+	way, st := c.Probe(addr)
+	switch st {
+	case ProbeHit:
+		c.HitAt(way, write)
+		return Result{Sampled: true, Hit: true}
+	case ProbeUnsampled:
+		c.NoteUnsampled()
 		return Result{}
+	default:
+		return c.MissAt(addr, write)
 	}
-	c.clock++
-	c.stats.Accesses++
-	ways := c.sets[set]
+}
 
-	for i := range ways {
-		w := &ways[i]
-		if w.valid && w.tag == tag {
-			c.stats.Hits++
-			w.lastUse = c.clock
-			if write {
-				if c.cfg.Write == WriteBack {
-					w.dirty = true
-				} else {
-					c.stats.WriteBacks++
-				}
-			}
-			return Result{Sampled: true, Hit: true}
-		}
+// MissAt handles fill, eviction and write-policy accounting for a
+// sampled reference Probe classified as a miss.
+func (c *Cache) MissAt(addr uint64, write bool) Result {
+	set, tag := c.index(addr)
+	base := c.base(set)
+	end := base + uint64(c.cfg.Assoc)
+	if c.stamped {
+		c.clock++
 	}
-
-	// Miss.
 	c.stats.Misses++
 	if write {
 		c.stats.WriteMisses++
@@ -312,57 +419,71 @@ func (c *Cache) access(addr uint64, write bool) Result {
 	}
 
 	res := Result{Sampled: true, Filled: true}
-	victim := c.pickVictim(ways)
-	w := &ways[victim]
-	if w.valid {
+	i := c.pickVictim(base, end)
+	if c.meta[i]&flagValid != 0 {
 		res.Evicted = true
-		res.VictimBlock = c.victimBlock(set, w.tag)
-		if w.dirty {
+		res.VictimBlock = c.victimBlock(set, c.tags[i])
+		if c.meta[i]&flagDirty != 0 {
 			res.EvictedDirty = true
 			res.WroteBack = true
 			c.stats.WriteBacks++
 		}
 	}
-	w.tag = tag
-	w.valid = true
-	w.dirty = write && c.cfg.Write == WriteBack
+	c.tags[i] = tag
+	m := uint8(flagValid)
+	if write && c.cfg.Write == WriteBack {
+		m |= flagDirty
+	}
+	c.meta[i] = m
 	if write && c.cfg.Write == WriteThrough {
 		c.stats.WriteBacks++
 	}
-	w.lastUse = c.clock
-	w.filledAt = c.clock
+	if c.used != nil {
+		c.used[i] = c.clock
+	}
+	if c.filled != nil {
+		c.filled[i] = c.clock
+	}
 	c.stats.Fills++
 	return res
 }
 
 // victimBlock reconstructs the block address of an evicted line.
 func (c *Cache) victimBlock(set, tag uint64) uint64 {
-	return tag<<log2size(c.numSets) | set
+	return tag<<c.tagShift | set
 }
 
-// pickVictim chooses the way to evict, preferring invalid ways.
-func (c *Cache) pickVictim(ways []line) int {
-	for i := range ways {
-		if !ways[i].valid {
+// pickVictim chooses the flat index of the way to evict in
+// [base, end), preferring invalid ways.
+func (c *Cache) pickVictim(base, end uint64) uint64 {
+	for i := base; i < end; i++ {
+		if c.meta[i]&flagValid == 0 {
 			return i
 		}
 	}
 	switch c.cfg.Replacement {
 	case Random:
-		return c.rng.Intn(len(ways))
+		// xorshift64*: seeded at New, uniform over the power-of-two
+		// associativity via masking.
+		x := c.rngState
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		c.rngState = x
+		return base + (x*0x2545F4914F6CDD1D)>>32&(end-base-1)
 	case FIFO:
-		best, bestAt := 0, ways[0].filledAt
-		for i := 1; i < len(ways); i++ {
-			if ways[i].filledAt < bestAt {
-				best, bestAt = i, ways[i].filledAt
+		best, bestAt := base, c.filled[base]
+		for i := base + 1; i < end; i++ {
+			if c.filled[i] < bestAt {
+				best, bestAt = i, c.filled[i]
 			}
 		}
 		return best
 	default: // LRU
-		best, bestAt := 0, ways[0].lastUse
-		for i := 1; i < len(ways); i++ {
-			if ways[i].lastUse < bestAt {
-				best, bestAt = i, ways[i].lastUse
+		best, bestAt := base, c.used[base]
+		for i := base + 1; i < end; i++ {
+			if c.used[i] < bestAt {
+				best, bestAt = i, c.used[i]
 			}
 		}
 		return best
@@ -381,26 +502,33 @@ func (c *Cache) Prefetch(addr uint64) Result {
 	if !c.sampled(set) {
 		return Result{}
 	}
-	ways := c.sets[set]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+	base := c.base(set)
+	end := base + uint64(c.cfg.Assoc)
+	for i := base; i < end; i++ {
+		if c.tags[i] == tag {
 			return Result{Sampled: true, Hit: true}
 		}
 	}
 	c.clock++
 	res := Result{Sampled: true, Filled: true}
-	victim := c.pickVictim(ways)
-	w := &ways[victim]
-	if w.valid {
+	i := c.pickVictim(base, end)
+	if c.meta[i]&flagValid != 0 {
 		res.Evicted = true
-		res.VictimBlock = c.victimBlock(set, w.tag)
-		if w.dirty {
+		res.VictimBlock = c.victimBlock(set, c.tags[i])
+		if c.meta[i]&flagDirty != 0 {
 			res.EvictedDirty = true
 			res.WroteBack = true
 			c.stats.WriteBacks++
 		}
 	}
-	*w = line{tag: tag, valid: true, lastUse: c.clock, filledAt: c.clock}
+	c.tags[i] = tag
+	c.meta[i] = flagValid
+	if c.used != nil {
+		c.used[i] = c.clock
+	}
+	if c.filled != nil {
+		c.filled[i] = c.clock
+	}
 	c.stats.PrefetchFills++
 	return res
 }
@@ -413,10 +541,10 @@ func (c *Cache) SetDirty(addr uint64) bool {
 	if !c.sampled(set) {
 		return false
 	}
-	for i := range c.sets[set] {
-		w := &c.sets[set][i]
-		if w.valid && w.tag == tag {
-			w.dirty = true
+	base := c.base(set)
+	for i := base; i < base+uint64(c.cfg.Assoc); i++ {
+		if c.meta[i]&flagValid != 0 && c.tags[i] == tag {
+			c.meta[i] |= flagDirty
 			return true
 		}
 	}
@@ -430,9 +558,9 @@ func (c *Cache) Contains(addr uint64) bool {
 	if !c.sampled(set) {
 		return false
 	}
-	for i := range c.sets[set] {
-		w := &c.sets[set][i]
-		if w.valid && w.tag == tag {
+	base := c.base(set)
+	for i := base; i < base+uint64(c.cfg.Assoc); i++ {
+		if c.meta[i]&flagValid != 0 && c.tags[i] == tag {
 			return true
 		}
 	}
@@ -446,12 +574,12 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	if !c.sampled(set) {
 		return false, false
 	}
-	for i := range c.sets[set] {
-		w := &c.sets[set][i]
-		if w.valid && w.tag == tag {
-			present, dirty = true, w.dirty
-			w.valid = false
-			w.dirty = false
+	base := c.base(set)
+	for i := base; i < base+uint64(c.cfg.Assoc); i++ {
+		if c.meta[i]&flagValid != 0 && c.tags[i] == tag {
+			present, dirty = true, c.meta[i]&flagDirty != 0
+			c.meta[i] = 0
+			c.tags[i] = invalidTag
 			return present, dirty
 		}
 	}
@@ -460,13 +588,17 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 
 // Flush invalidates every line, counting dirty lines as write-backs.
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			w := &c.sets[s][i]
-			if w.valid && w.dirty {
-				c.stats.WriteBacks++
-			}
-			*w = line{}
+	for i := range c.meta {
+		if c.meta[i]&(flagValid|flagDirty) == flagValid|flagDirty {
+			c.stats.WriteBacks++
 		}
+		c.meta[i] = 0
+		c.tags[i] = invalidTag
+	}
+	for i := range c.used {
+		c.used[i] = 0
+	}
+	for i := range c.filled {
+		c.filled[i] = 0
 	}
 }

@@ -1,0 +1,78 @@
+package core
+
+// Allocation-regression guards: the steady-state access path must not
+// allocate, or multi-hundred-million-reference sweeps spend their time
+// in the garbage collector. Any append/boxing/map-growth sneaking into
+// Access, AccessBatch or AccessOutcome fails here immediately.
+
+import (
+	"testing"
+
+	"streamsim/internal/mem"
+)
+
+// warmedSystem builds a default system (streams, filter, czones all
+// active) and drives it past cold-start so steady state is measured.
+func warmedSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<14; i++ {
+		a := mem.Addr(1<<24 + i*8)
+		sys.Access(mem.Access{Addr: a, Kind: mem.Read})
+		if i%4 == 0 {
+			sys.Access(mem.Access{Addr: 1<<20 + a%4096, Kind: mem.IFetch})
+		}
+		if i%7 == 0 {
+			sys.Access(mem.Access{Addr: a, Kind: mem.Write})
+		}
+	}
+	return sys
+}
+
+func TestAccessDoesNotAllocate(t *testing.T) {
+	sys := warmedSystem(t)
+	i := 0
+	avg := testing.AllocsPerRun(10000, func() {
+		a := mem.Addr(1<<24 + i*64)
+		sys.Access(mem.Access{Addr: a, Kind: mem.Read})
+		sys.Access(mem.Access{Addr: a + 8, Kind: mem.Write})
+		sys.Access(mem.Access{Addr: 1 << 20, Kind: mem.IFetch})
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("Access allocates %v times per call group; want 0", avg)
+	}
+}
+
+func TestAccessOutcomeDoesNotAllocate(t *testing.T) {
+	sys := warmedSystem(t)
+	i := 0
+	avg := testing.AllocsPerRun(10000, func() {
+		sys.AccessOutcome(mem.Access{Addr: mem.Addr(1<<24 + i*64), Kind: mem.Read})
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("AccessOutcome allocates %v times per call; want 0", avg)
+	}
+}
+
+func TestAccessBatchDoesNotAllocate(t *testing.T) {
+	sys := warmedSystem(t)
+	batch := make([]mem.Access, 256)
+	base := mem.Addr(1 << 24)
+	avg := testing.AllocsPerRun(1000, func() {
+		for j := range batch {
+			batch[j] = mem.Access{Addr: base + mem.Addr(j*8), Kind: mem.Read}
+		}
+		batch[0].Kind = mem.IFetch
+		batch[0].Addr = 1 << 20
+		sys.AccessBatch(batch)
+		base += 64
+	})
+	if avg != 0 {
+		t.Errorf("AccessBatch allocates %v times per 256-access batch; want 0", avg)
+	}
+}

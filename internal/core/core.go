@@ -308,63 +308,76 @@ type Outcome struct {
 }
 
 // Access presents one memory reference to the system.
+//
+// The L1 probe is inlined here (and in AccessBatch) rather than
+// delegated: the stream workloads hit L1 on the vast majority of
+// references, and finishing a hit without a second call frame is
+// worth the small duplication with AccessBatch.
 func (s *System) Access(a mem.Access) {
+	c, write, ifetch := s.l1d, a.Kind == mem.Write, false
 	if a.Kind == IFetchKind {
-		s.accessVia(s.l1i, a.Addr, false, true)
-		return
+		c, write, ifetch = s.l1i, false, true
 	}
-	s.accessVia(s.l1d, a.Addr, a.Kind == mem.Write, false)
+	if way, st := c.Probe(uint64(a.Addr)); st == cache.ProbeHit {
+		c.HitAt(way, write)
+		s.out.Level = LevelL1
+	} else {
+		s.missVia(c, a.Addr, write, ifetch, st)
+	}
+}
+
+// AccessBatch presents a slice of references in order. It is the replay
+// fast path: one call replaces len(accs) interface dispatches. The
+// statistics produced are byte-identical to calling Access in a loop.
+func (s *System) AccessBatch(accs []mem.Access) {
+	for i := range accs {
+		a := &accs[i]
+		c, write, ifetch := s.l1d, a.Kind == mem.Write, false
+		if a.Kind == IFetchKind {
+			c, write, ifetch = s.l1i, false, true
+		}
+		way, st := c.Probe(uint64(a.Addr))
+		if st == cache.ProbeHit {
+			c.HitAt(way, write)
+			s.out.Level = LevelL1
+			continue
+		}
+		s.missVia(c, a.Addr, write, ifetch, st)
+	}
 }
 
 // AccessOutcome is Access plus a report of how the reference was
-// serviced; timing models use it to charge latencies.
+// serviced; timing models use it to charge latencies. The outcome is
+// accounted incrementally inside missVia (each step records what it
+// did as it happens), so the cost is O(1) per access regardless of the
+// number of streams — and zero when no stream set is configured.
 func (s *System) AccessOutcome(a mem.Access) Outcome {
+	// Clear the event fields here rather than in missVia: plain
+	// Access calls never read them, so the common replay path skips
+	// the per-reference reset. Access always sets Level.
 	s.out = Outcome{}
-	prefetches, pending := s.prefetchCounters()
 	s.Access(a)
-	p2, pend2 := s.prefetchCounters()
-	s.out.Prefetches = p2 - prefetches
-	s.out.Pending = pend2 > pending
 	return s.out
-}
-
-// prefetchCounters sums prefetch-issue and pending-hit counts across
-// stream sets.
-func (s *System) prefetchCounters() (issued, pending uint64) {
-	if s.streams != nil {
-		st := s.streams.Stats()
-		issued += st.PrefetchesIssued
-		pending += st.PendingHits
-	}
-	if s.streamsI != nil {
-		st := s.streamsI.Stats()
-		issued += st.PrefetchesIssued
-		pending += st.PendingHits
-	}
-	return issued, pending
 }
 
 // IFetchKind re-exports mem.IFetch for the convenience of callers that
 // already import core.
 const IFetchKind = mem.IFetch
 
-// accessVia runs the L1 → victim buffer → streams → memory flow for
-// one cache.
-func (s *System) accessVia(c *cache.Cache, addr mem.Addr, write, ifetch bool) {
-	var res cache.Result
-	if write {
-		res = c.Write(uint64(addr))
-	} else {
-		res = c.Read(uint64(addr))
-	}
-	if !res.Sampled {
+// missVia continues a reference that did not hit in the on-chip cache
+// c (st is the probe status Access observed): the victim buffer →
+// streams → memory flow. It accounts s.out incrementally as it goes:
+// every step that issues prefetches or writes back records it here, so
+// AccessOutcome needs no before/after stats diffing. The event fields
+// of s.out are only valid when the caller (AccessOutcome) cleared
+// them first; Level is written on every path.
+func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st cache.ProbeStatus) {
+	if st == cache.ProbeUnsampled {
+		c.NoteUnsampled()
 		s.out.Level = LevelUnsampled
 		return
 	}
-	if res.Hit {
-		s.out.Level = LevelL1
-		return
-	}
+	res := c.MissAt(uint64(addr), write)
 	// On-chip miss. Route the displaced line first.
 	vc := s.victimD
 	if ifetch {
@@ -418,11 +431,13 @@ func (s *System) accessVia(c *cache.Cache, addr mem.Addr, write, ifetch bool) {
 		s.noteTraffic(blk)
 		return
 	}
-	if set.Probe(blk) {
+	if pr := set.ProbeOutcome(blk); pr.Hit {
 		// Block supplied by a stream buffer; its fetch was already
 		// accounted when the prefetch was issued.
 		s.bw.StreamFills++
 		s.out.Level = LevelStream
+		s.out.Pending = pr.Pending
+		s.out.Prefetches += pr.Issued
 		return
 	}
 	// Stream miss: fetch over the fast path, then decide allocation.
@@ -464,11 +479,11 @@ func (s *System) allocatePolicy(set *stream.Set, addr, blk mem.Addr) {
 		if s.nf != nil || s.md != nil {
 			s.observeStride(set, addr)
 		}
-		set.AllocateUnit(blk)
+		s.out.Prefetches += set.AllocateUnit(blk)
 		return
 	}
 	if s.uf.Lookup(blk) {
-		set.AllocateUnit(blk)
+		s.out.Prefetches += set.AllocateUnit(blk)
 		return
 	}
 	s.observeStride(set, addr)
@@ -481,11 +496,11 @@ func (s *System) observeStride(set *stream.Set, addr mem.Addr) {
 	switch {
 	case s.nf != nil:
 		if ok, last, stride := s.nf.Observe(word); ok {
-			set.AllocateStrided(last, stride)
+			s.out.Prefetches += set.AllocateStrided(last, stride)
 		}
 	case s.md != nil:
 		if ok, stride := s.md.Observe(word); ok {
-			set.AllocateStrided(word, stride)
+			s.out.Prefetches += set.AllocateStrided(word, stride)
 		}
 	}
 }

@@ -79,7 +79,8 @@ func runOnChipPrefetcher(name string, size workload.Size, scale float64,
 		}
 	}
 
-	for _, a := range tr.accs {
+	tr.each(func(pa *mem.Access) {
+		a := *pa
 		c := l1d
 		if a.Kind == mem.IFetch {
 			c = l1i
@@ -110,7 +111,7 @@ func runOnChipPrefetcher(name string, size workload.Size, scale float64,
 				install(c, []mem.Addr{pb})
 			}
 		}
-	}
+	})
 	wasted += uint64(len(pending)) // still untouched at end
 
 	out := baselineResult{}

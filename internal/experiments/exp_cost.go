@@ -8,6 +8,7 @@ package experiments
 import (
 	"streamsim/internal/cache"
 	"streamsim/internal/cost"
+	"streamsim/internal/mem"
 	"streamsim/internal/tab"
 	"streamsim/internal/timing"
 	"streamsim/internal/workload"
@@ -103,15 +104,15 @@ func EqualCost(opt Options) (*tab.Table, error) {
 // the instruction count across the accesses.
 func replayTimed(m *timing.Model, tr *recorded) {
 	perAccess := uint64(0)
-	if n := uint64(len(tr.accs)); n > 0 {
+	if n := uint64(tr.store.Len()); n > 0 {
 		perAccess = tr.insts / n
 	}
 	var spent uint64
-	for _, a := range tr.accs {
-		m.Access(a)
+	tr.each(func(a *mem.Access) {
+		m.Access(*a)
 		m.AddInstructions(perAccess)
 		spent += perAccess
-	}
+	})
 	if tr.insts > spent {
 		m.AddInstructions(tr.insts - spent)
 	}

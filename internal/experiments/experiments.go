@@ -18,6 +18,7 @@ import (
 	"streamsim/internal/mem"
 	"streamsim/internal/stream"
 	"streamsim/internal/tab"
+	"streamsim/internal/trace"
 	"streamsim/internal/workload"
 )
 
@@ -90,23 +91,52 @@ func table1Size(name string) workload.Size {
 	}
 }
 
-// recorded is an in-memory trace: the reference stream and retired
+// recorded is an in-memory trace: the reference stream (held in a
+// compact delta-encoded trace.Store rather than a []mem.Access, a
+// several-fold memory saving that also keeps replay from streaming
+// 24 bytes per reference through the host caches) and the retired
 // instruction count of one workload run.
 type recorded struct {
-	accs  []mem.Access
+	store *trace.Store
 	insts uint64
 }
 
+// newRecorded sizes the store from the per-workload reference
+// estimate so recording never regrows mid-trace.
+func newRecorded(name string, size workload.Size, scale float64) *recorded {
+	return &recorded{store: trace.NewStore(int(workload.EstimateRefs(name, size, scale)))}
+}
+
 // Access implements workload.Sink.
-func (r *recorded) Access(a mem.Access) { r.accs = append(r.accs, a) }
+func (r *recorded) Access(a mem.Access) { r.store.Append(a) }
+
+// AccessBatch implements workload.BatchSink.
+func (r *recorded) AccessBatch(accs []mem.Access) { r.store.AppendBatch(accs) }
 
 // AddInstructions implements workload.Sink.
 func (r *recorded) AddInstructions(n uint64) { r.insts += n }
 
-// replay feeds the trace into a memory system.
+// each decodes the trace in batches and calls fn on every access in
+// order — the shared iteration shape for consumers that want scalar
+// visits (miss-stream derivation, the prefetcher baselines, the
+// timing replay) without paying per-access decode state.
+func (r *recorded) each(fn func(a *mem.Access)) {
+	buf := make([]mem.Access, trace.ReplayBatchLen)
+	it := r.store.Iter()
+	for n := it.Next(buf); n > 0; n = it.Next(buf) {
+		for i := 0; i < n; i++ {
+			fn(&buf[i])
+		}
+	}
+}
+
+// replay feeds the trace into a memory system through the batched
+// hot path.
 func (r *recorded) replay(sys *core.System) {
-	for _, a := range r.accs {
-		sys.Access(a)
+	buf := make([]mem.Access, trace.ReplayBatchLen)
+	it := r.store.Iter()
+	for n := it.Next(buf); n > 0; n = it.Next(buf) {
+		sys.AccessBatch(buf[:n])
 	}
 	sys.AddInstructions(r.insts)
 }
@@ -131,8 +161,11 @@ func record(name string, size workload.Size, scale float64) (*recorded, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &recorded{}
+	r := newRecorded(name, size, scale)
 	if err := w.Run(r, scale); err != nil {
+		return nil, err
+	}
+	if err := r.store.Err(); err != nil {
 		return nil, err
 	}
 	v, _ := traceCache.LoadOrStore(key, r)
@@ -268,7 +301,7 @@ func missStream(name string, size workload.Size, scale float64) (*l2MissStream, 
 	}
 	geom := cfg.Geometry
 	ms := &l2MissStream{}
-	for _, a := range tr.accs {
+	tr.each(func(a *mem.Access) {
 		c := l1d
 		if a.Kind == mem.IFetch {
 			c = l1i
@@ -280,7 +313,7 @@ func missStream(name string, size workload.Size, scale float64) (*l2MissStream, 
 			res = c.Read(uint64(a.Addr))
 		}
 		if !res.Sampled || res.Hit {
-			continue
+			return
 		}
 		if res.WroteBack {
 			ms.events = append(ms.events, l2Event{
@@ -291,7 +324,7 @@ func missStream(name string, size workload.Size, scale float64) (*l2MissStream, 
 		if res.Filled {
 			ms.events = append(ms.events, l2Event{addr: geom.BlockBase(a.Addr)})
 		}
-	}
+	})
 	v, _ := l2StreamCache.LoadOrStore(key, ms)
 	return v.(*l2MissStream), nil
 }

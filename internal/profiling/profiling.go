@@ -1,0 +1,56 @@
+// Package profiling backs the -cpuprofile/-memprofile flags of the
+// command-line tools, so full-scale runs can be fed straight to
+// `go tool pprof` without writing a throwaway benchmark first.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is nonempty and returns a
+// stop function that ends the CPU profile and, when memPath is
+// nonempty, writes a heap profile of the live objects at that point.
+// With both paths empty Start is a no-op and stop returns nil, so
+// callers can defer unconditionally:
+//
+//	stop, err := profiling.Start(*cpuprofile, *memprofile)
+//	if err != nil { return err }
+//	defer func() { err = errors.Join(err, stop()) }()
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			// An explicit GC makes the heap profile reflect live
+			// retained memory (the trace stores), not garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

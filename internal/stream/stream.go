@@ -117,7 +117,10 @@ func (b *Buffer) issue(now uint64) bool {
 		return false
 	}
 	blk := b.geom.BlockOfWord(b.nextWord)
-	tail := (b.head + b.count) % b.depth
+	tail := b.head + b.count
+	if tail >= b.depth {
+		tail -= b.depth
+	}
 	b.fifo[tail] = slot{block: blk, valid: true, issueAt: now}
 	b.count++
 	if b.onPrefetch != nil {
@@ -139,7 +142,10 @@ func (b *Buffer) consumeHead(now uint64, latency uint64) (ready bool, issued int
 	s := b.fifo[b.head]
 	ready = now-s.issueAt >= latency
 	b.fifo[b.head] = slot{}
-	b.head = (b.head + 1) % b.depth
+	b.head++
+	if b.head == b.depth {
+		b.head = 0
+	}
 	b.count--
 	b.hitsThisAllocation++
 	b.lastUse = now
@@ -159,7 +165,10 @@ func (b *Buffer) dropInvalidHead() int {
 	dropped := 0
 	for b.count > 0 && !b.fifo[b.head].valid {
 		b.fifo[b.head] = slot{}
-		b.head = (b.head + 1) % b.depth
+		b.head++
+		if b.head == b.depth {
+			b.head = 0
+		}
 		b.count--
 		dropped++
 	}
@@ -174,10 +183,14 @@ func (b *Buffer) invalidate(blk mem.Addr) int {
 		return 0
 	}
 	n := 0
-	for i, c := b.head, 0; c < b.count; i, c = (i+1)%b.depth, c+1 {
+	for i, c := b.head, 0; c < b.count; c++ {
 		if b.fifo[i].valid && b.fifo[i].block == blk {
 			b.fifo[i].valid = false
 			n++
+		}
+		i++
+		if i == b.depth {
+			i = 0
 		}
 	}
 	return n
@@ -300,13 +313,35 @@ func (s Stats) HitRate() float64 {
 
 // Set is a group of stream buffers probed in parallel, with LRU
 // selection of the stream to reallocate (the paper's policy).
+//
+// heads mirrors each buffer's valid head-block tag in one contiguous
+// array — the software analogue of the hardware's parallel comparators.
+// A probe is then a tight scan over the array instead of a pointer
+// chase through every buffer's FIFO; headUnknown marks buffers whose
+// head needs the slow path (empty, inactive, or dirtied by a
+// write-back invalidation).
 type Set struct {
 	geom    mem.Geometry
 	bufs    []*Buffer
+	heads   []mem.Addr
 	latency uint64
 	realloc Realloc
 	clock   uint64
 	stats   Stats
+}
+
+// headUnknown is the heads[] sentinel: no cached head tag. Real block
+// numbers are byte addresses shifted down, so the all-ones value can
+// never collide with one.
+const headUnknown = ^mem.Addr(0)
+
+// syncHead refreshes the cached head tag of buffer i.
+func (s *Set) syncHead(i int) {
+	if h, ok := s.bufs[i].HeadBlock(); ok {
+		s.heads[i] = h
+	} else {
+		s.heads[i] = headUnknown
+	}
 }
 
 // Realloc selects which stream is sacrificed when a new one must be
@@ -361,6 +396,7 @@ func NewSet(geom mem.Geometry, cfg Config) (*Set, error) {
 		}
 		b.onPrefetch = cfg.OnPrefetch
 		s.bufs = append(s.bufs, b)
+		s.heads = append(s.heads, headUnknown)
 	}
 	return s, nil
 }
@@ -374,87 +410,128 @@ func (s *Set) Stats() Stats { return s.stats }
 // ResetStats clears counters without disturbing stream contents.
 func (s *Set) ResetStats() { s.stats = Stats{} }
 
+// ProbeResult reports what one probe did, so callers layering timing
+// models on top (core.Outcome) can account incrementally instead of
+// diffing full Stats copies around every access.
+type ProbeResult struct {
+	// Hit reports whether the block matched a stream head.
+	Hit bool
+	// Pending is set on a hit whose prefetch had not yet returned.
+	Pending bool
+	// Issued counts refill prefetches triggered by the hit.
+	Issued uint64
+}
+
 // Probe presents an on-chip miss for block blk (a block number). On a
 // hit the matching stream shifts and refills; the caller moves the
 // block into the primary cache. The return reports hit/miss; Probe has
 // already updated all statistics.
 func (s *Set) Probe(blk mem.Addr) (hit bool) {
+	return s.ProbeOutcome(blk).Hit
+}
+
+// ProbeOutcome is Probe plus a per-access report of the side effects
+// (pending status, refill prefetches issued).
+func (s *Set) ProbeOutcome(blk mem.Addr) ProbeResult {
 	s.clock++
 	s.stats.Probes++
-	for _, b := range s.bufs {
-		s.stats.PrefetchesWasted += uint64(b.dropInvalidHead())
-		h, ok := b.HeadBlock()
-		if !ok || h != blk {
+	for i, h := range s.heads {
+		if h == headUnknown {
+			// Slow path: drop invalidated entries at the head (as the
+			// pre-heads-array code did on every buffer every probe —
+			// lazily it is the same probe that does the dropping) and
+			// re-cache the now-exposed head, if any.
+			b := s.bufs[i]
+			s.stats.PrefetchesWasted += uint64(b.dropInvalidHead())
+			hb, ok := b.HeadBlock()
+			if !ok {
+				continue
+			}
+			s.heads[i] = hb
+			h = hb
+		}
+		if h != blk {
 			continue
 		}
-		ready, issued := b.consumeHead(s.clock, s.latency)
+		ready, issued := s.bufs[i].consumeHead(s.clock, s.latency)
+		s.syncHead(i)
 		s.stats.Hits++
 		if !ready {
 			s.stats.PendingHits++
 		}
 		s.stats.PrefetchesIssued += uint64(issued)
-		return true
+		return ProbeResult{Hit: true, Pending: !ready, Issued: uint64(issued)}
 	}
 	s.stats.Misses++
-	return false
+	return ProbeResult{}
 }
 
 // AllocateUnit reallocates the LRU stream as a unit-stride stream
 // beginning one block past missBlock (the missed block itself arrives
-// via the fast path).
-func (s *Set) AllocateUnit(missBlock mem.Addr) {
+// via the fast path). It returns the number of prefetches issued.
+func (s *Set) AllocateUnit(missBlock mem.Addr) uint64 {
 	startWord := (missBlock + 1) << (s.geom.BlockShift() - s.geom.WordShift())
-	s.allocate(startWord, int64(s.geom.WordsPerBlock()))
+	return s.allocate(startWord, int64(s.geom.WordsPerBlock()))
 }
 
 // AllocateStrided reallocates the LRU stream with an arbitrary word
 // stride, starting from lastWord+stride (the reference at lastWord has
-// already been serviced by the fast path).
-func (s *Set) AllocateStrided(lastWord mem.Addr, stride int64) {
+// already been serviced by the fast path). It returns the number of
+// prefetches issued.
+func (s *Set) AllocateStrided(lastWord mem.Addr, stride int64) uint64 {
 	start := int64(lastWord) + stride
 	if start < 0 || stride == 0 {
-		return // degenerate; nothing useful to prefetch
+		return 0 // degenerate; nothing useful to prefetch
 	}
-	s.allocate(mem.Addr(start), stride)
+	return s.allocate(mem.Addr(start), stride)
 }
 
 // allocate picks the victim buffer per the reallocation policy
-// (preferring idle buffers) and resets it.
-func (s *Set) allocate(startWord mem.Addr, stride int64) {
-	var victim *Buffer
-	for _, b := range s.bufs {
+// (preferring idle buffers) and resets it, returning the number of
+// prefetches issued for the new stream.
+func (s *Set) allocate(startWord mem.Addr, stride int64) uint64 {
+	vi := -1
+	for i, b := range s.bufs {
 		if !b.active {
-			victim = b
+			vi = i
 			break
 		}
 		rank, best := b.lastUse, uint64(0)
-		if victim != nil {
-			best = victim.lastUse
+		if vi >= 0 {
+			best = s.bufs[vi].lastUse
 		}
 		if s.realloc == ReallocFIFO {
 			rank = b.allocAt
-			if victim != nil {
-				best = victim.allocAt
+			if vi >= 0 {
+				best = s.bufs[vi].allocAt
 			}
 		}
-		if victim == nil || rank < best {
-			victim = b
+		if vi < 0 || rank < best {
+			vi = i
 		}
 	}
+	victim := s.bufs[vi]
 	if victim.active {
 		s.stats.Lengths.add(victim.hitsThisAllocation)
 	}
 	flushed, issued := victim.reset(startWord, stride, s.clock)
+	s.syncHead(vi)
 	s.stats.PrefetchesWasted += uint64(flushed)
 	s.stats.PrefetchesIssued += uint64(issued)
 	s.stats.Allocations++
+	return uint64(issued)
 }
 
 // InvalidateBlock implements write-back coherence: clear every stream
 // entry holding blk. Cleared entries count as wasted prefetches.
 func (s *Set) InvalidateBlock(blk mem.Addr) {
-	for _, b := range s.bufs {
+	for i, b := range s.bufs {
 		n := b.invalidate(blk)
+		if n > 0 {
+			// The head tag may now be stale; the next probe re-derives
+			// it (and accounts the dropped entries as wasted).
+			s.heads[i] = headUnknown
+		}
 		s.stats.Invalidations += uint64(n)
 		s.stats.PrefetchesWasted += uint64(n)
 	}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"streamsim/internal/mem"
+)
+
+// Store is a compact in-memory reference trace. It holds the same
+// information as a []mem.Access but struct-of-arrays and
+// delta-encoded: one varint byte stream carries per-kind address
+// deltas (tagged with the kind in the low two bits, exactly like the
+// on-disk format), a second carries per-kind PC deltas, and the rare
+// access with a nonzero Size goes to a side list. Workload traces are
+// dominated by short constant strides, so a reference that costs 24
+// bytes as a mem.Access typically costs 2-4 bytes here — the
+// difference between a full-scale trace that thrashes the host's
+// caches during replay and one that streams through them.
+//
+// A Store is append-only and not safe for concurrent mutation;
+// concurrent readers over a quiescent Store are fine (experiments
+// replay one memoized trace from many goroutines).
+type Store struct {
+	addr   []byte // per access: uvarint(zigzag62(addr delta)<<2 | kind)
+	pc     []byte // per access: uvarint(zigzag64(pc delta)), per-kind last
+	sizes  []sizeException
+	n      int
+	last   [3]uint64 // previous address per kind
+	lastPC [3]uint64 // previous PC per kind
+	err    error
+}
+
+// sizeException records an access whose Size field is nonzero; the
+// synthetic workloads never set one, so these stay off the dense
+// streams.
+type sizeException struct {
+	idx  int
+	size uint8
+}
+
+// storeBytesPerRef sizes the address stream preallocation: measured
+// across the fifteen workload traces, the address stream runs 1.5-2.9
+// bytes per reference (one-byte deltas for unit strides, two for
+// instruction-fetch block steps, three to four for gathers) and the
+// PC stream about one, so 3+1 covers the worst observed trace without
+// a regrow.
+const storeBytesPerRef = 3
+
+// NewStore returns a Store preallocated for about capacityHint
+// references. A zero or negative hint is valid and simply starts
+// empty.
+func NewStore(capacityHint int) *Store {
+	s := &Store{}
+	if capacityHint > 0 {
+		s.addr = make([]byte, 0, capacityHint*storeBytesPerRef)
+		s.pc = make([]byte, 0, capacityHint)
+	}
+	return s
+}
+
+// Append encodes one access. Errors (an address beyond the 62-bit
+// format limit, an unknown kind) are deferred to Err, matching
+// Writer's contract.
+func (s *Store) Append(a mem.Access) {
+	if s.err != nil {
+		return
+	}
+	k := uint64(a.Kind)
+	if k > tagFetch {
+		s.err = fmt.Errorf("trace: invalid access kind %v", a.Kind)
+		return
+	}
+	if a.Addr > MaxAddr || a.PC > MaxAddr {
+		s.err = fmt.Errorf("trace: address %#x exceeds the %d-bit format limit", uint64(a.Addr), addrBits)
+		return
+	}
+	// Address: delta in a 62-bit ring, sign-extended, zig-zagged, kind
+	// tag in the low two bits — the Writer encoding, kept in memory.
+	d := (uint64(a.Addr) - s.last[k]) & uint64(MaxAddr)
+	s.last[k] = uint64(a.Addr)
+	delta := int64(d<<2) >> 2
+	zz := uint64(delta<<1) ^ uint64(delta>>63)
+	zz &= uint64(MaxAddr)
+	s.addr = binary.AppendUvarint(s.addr, zz<<2|k)
+	// PC: plain 64-bit zig-zag delta per kind (no tag to make room
+	// for). Loop bodies revisit the same sites, so deltas are tiny.
+	pd := int64(uint64(a.PC) - s.lastPC[k])
+	s.lastPC[k] = uint64(a.PC)
+	s.pc = binary.AppendUvarint(s.pc, uint64(pd<<1)^uint64(pd>>63))
+	if a.Size != 0 {
+		s.sizes = append(s.sizes, sizeException{idx: s.n, size: a.Size})
+	}
+	s.n++
+}
+
+// AppendBatch encodes a batch of accesses in order.
+func (s *Store) AppendBatch(accs []mem.Access) {
+	for i := range accs {
+		s.Append(accs[i])
+	}
+}
+
+// Len returns the number of stored accesses.
+func (s *Store) Len() int { return s.n }
+
+// Bytes returns the resident encoded size, for logging and tests.
+func (s *Store) Bytes() int {
+	return len(s.addr) + len(s.pc) + len(s.sizes)*16
+}
+
+// Err reports the first deferred append error.
+func (s *Store) Err() error { return s.err }
+
+// Iter returns an iterator positioned at the first access. Multiple
+// iterators over one Store are independent.
+func (s *Store) Iter() StoreIter {
+	return StoreIter{s: s}
+}
+
+// StoreIter decodes a Store back into mem.Access values in batches.
+type StoreIter struct {
+	s       *Store
+	i       int // next access index
+	pos     int // byte offset into s.addr
+	pcPos   int // byte offset into s.pc
+	excNext int // next pending entry of s.sizes
+	last    [3]uint64
+	lastPC  [3]uint64
+}
+
+// Next fills buf with up to len(buf) decoded accesses and returns how
+// many it wrote; zero means the trace is exhausted. Decoding in
+// batches keeps the varint state machine out of the per-access
+// simulation loop:
+//
+//	it := store.Iter()
+//	for n := it.Next(buf); n > 0; n = it.Next(buf) {
+//		sys.AccessBatch(buf[:n])
+//	}
+func (it *StoreIter) Next(buf []mem.Access) int {
+	n := it.s.n - it.i
+	if n <= 0 {
+		return 0
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	// The varints are decoded by hand rather than with binary.Uvarint:
+	// the call overhead of two Uvarint invocations per reference costs
+	// more than the rest of the decode combined, and nearly every
+	// record is a one- or two-byte varint the fast paths below catch.
+	addrs, pcs := it.s.addr, it.s.pc
+	pos, pcPos := it.pos, it.pcPos
+	for j := 0; j < n; j++ {
+		v := uint64(addrs[pos])
+		pos++
+		if v >= 0x80 {
+			v &= 0x7f
+			for shift := 7; ; shift += 7 {
+				b := addrs[pos]
+				pos++
+				v |= uint64(b&0x7f) << shift
+				if b < 0x80 {
+					break
+				}
+			}
+		}
+		tag := v & 3
+		body := v >> 2
+		delta := int64(body>>1) ^ -int64(body&1)
+		it.last[tag] = (it.last[tag] + uint64(delta)) & uint64(MaxAddr)
+
+		pv := uint64(pcs[pcPos])
+		pcPos++
+		if pv >= 0x80 {
+			pv &= 0x7f
+			for shift := 7; ; shift += 7 {
+				b := pcs[pcPos]
+				pcPos++
+				pv |= uint64(b&0x7f) << shift
+				if b < 0x80 {
+					break
+				}
+			}
+		}
+		pd := int64(pv>>1) ^ -int64(pv&1)
+		it.lastPC[tag] += uint64(pd)
+
+		a := mem.Access{
+			Addr: mem.Addr(it.last[tag]),
+			PC:   mem.Addr(it.lastPC[tag]),
+			Kind: mem.Kind(tag),
+		}
+		if it.excNext < len(it.s.sizes) && it.s.sizes[it.excNext].idx == it.i {
+			a.Size = it.s.sizes[it.excNext].size
+			it.excNext++
+		}
+		buf[j] = a
+		it.i++
+	}
+	it.pos, it.pcPos = pos, pcPos
+	return n
+}

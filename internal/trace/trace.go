@@ -109,6 +109,14 @@ func (t *Writer) Access(a mem.Access) {
 	t.events++
 }
 
+// AccessBatch encodes a batch of references in order, satisfying
+// BatchSink so recording a workload skips per-reference dispatch.
+func (t *Writer) AccessBatch(accs []mem.Access) {
+	for i := range accs {
+		t.Access(accs[i])
+	}
+}
+
 // AddInstructions encodes a retired-instruction count.
 func (t *Writer) AddInstructions(n uint64) {
 	if t.err != nil || n == 0 {
@@ -187,20 +195,66 @@ type Sink interface {
 	AddInstructions(n uint64)
 }
 
-// Replay streams every event into sink.
+// BatchSink is a Sink that also consumes references in batches.
+// core.System and Writer satisfy it; Replay and the workload
+// generator use the batched entry point when the sink offers one,
+// which amortizes interface dispatch over ReplayBatchLen references.
+type BatchSink interface {
+	Sink
+	AccessBatch(accs []mem.Access)
+}
+
+// ReplayBatchLen is the batch size used by Replay (and by
+// experiments' in-memory replay): big enough to amortize dispatch,
+// small enough that the decode buffer stays resident in the host L1.
+const ReplayBatchLen = 512
+
+// Replay streams every event into sink. If sink implements BatchSink
+// the accesses are delivered in batches, with any instruction-count
+// record flushing the pending batch first so the sink observes events
+// in exactly the recorded order.
 func (t *Reader) Replay(sink Sink) error {
+	bs, ok := sink.(BatchSink)
+	if !ok {
+		for {
+			ev, err := t.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if ev.Insts > 0 {
+				sink.AddInstructions(ev.Insts)
+			} else {
+				sink.Access(ev.Access)
+			}
+		}
+	}
+	buf := make([]mem.Access, 0, ReplayBatchLen)
+	flush := func() {
+		if len(buf) > 0 {
+			bs.AccessBatch(buf)
+			buf = buf[:0]
+		}
+	}
 	for {
 		ev, err := t.Next()
 		if err == io.EOF {
+			flush()
 			return nil
 		}
 		if err != nil {
 			return err
 		}
 		if ev.Insts > 0 {
-			sink.AddInstructions(ev.Insts)
-		} else {
-			sink.Access(ev.Access)
+			flush()
+			bs.AddInstructions(ev.Insts)
+			continue
+		}
+		buf = append(buf, ev.Access)
+		if len(buf) == ReplayBatchLen {
+			flush()
 		}
 	}
 }

@@ -32,6 +32,21 @@ type Sink interface {
 	AddInstructions(n uint64)
 }
 
+// BatchSink is a Sink that also accepts references in batches. When
+// the sink implements it (core.System and trace.Writer do), the
+// kernel machine buffers accBufLen references and delivers them with
+// one call, amortizing interface dispatch across the batch. Relative
+// order of accesses and instruction counts is preserved exactly: the
+// access buffer is always drained before a count is forwarded.
+type BatchSink interface {
+	Sink
+	AccessBatch(accs []mem.Access)
+}
+
+// accBufLen is the machine's access buffer size; 512 references keep
+// the buffer within the host L1 while making dispatch cost negligible.
+const accBufLen = 512
+
 // Size selects the benchmark input scale. The paper's Table 4 grows
 // five benchmarks to a second, larger input.
 type Size uint8
@@ -95,8 +110,10 @@ func iters(n int, scale float64) int {
 // counter that also synthesizes the (block-granularity) instruction
 // fetch stream, and load/store emission helpers.
 type Machine struct {
-	sink Sink
-	rng  *rand.Rand
+	sink   Sink
+	batch  BatchSink    // sink, when it supports batching; else nil
+	accBuf []mem.Access // pending references for the batch path
+	rng    *rand.Rand
 
 	heap   mem.Addr // bump allocator cursor
 	allocs int      // allocation count, drives the de-aliasing skew
@@ -123,7 +140,7 @@ func (m *Machine) Loop(id int) {
 	m.codePC = base
 	// The taken backward branch re-fetches the loop head (an L1I hit
 	// in steady state, as the paper's near-zero I-miss rates reflect).
-	m.sink.Access(mem.Access{Addr: base, Kind: mem.IFetch})
+	m.emit(mem.Access{Addr: base, Kind: mem.IFetch})
 }
 
 // Instruction-stream modelling: 4 bytes per instruction, one IFetch
@@ -146,13 +163,32 @@ func newMachine(sink Sink, name string) *Machine {
 	for _, c := range name {
 		seed = seed*131 + int64(c)
 	}
-	return &Machine{
+	m := &Machine{
 		sink:      sink,
 		rng:       rand.New(rand.NewSource(seed)),
 		heap:      heapBase,
 		codeBase:  codeSegBase,
 		codeBytes: defaultCodeSize,
 		codePC:    codeSegBase,
+	}
+	if bs, ok := sink.(BatchSink); ok {
+		m.batch = bs
+		m.accBuf = make([]mem.Access, 0, accBufLen)
+	}
+	return m
+}
+
+// emit queues one reference, delivering the pending batch when full
+// (or immediately on the scalar path).
+func (m *Machine) emit(a mem.Access) {
+	if m.batch == nil {
+		m.sink.Access(a)
+		return
+	}
+	m.accBuf = append(m.accBuf, a)
+	if len(m.accBuf) == accBufLen {
+		m.batch.AccessBatch(m.accBuf)
+		m.accBuf = m.accBuf[:0]
 	}
 }
 
@@ -194,18 +230,24 @@ func (m *Machine) Inst(n int) {
 			m.codePC = m.codeBase + (m.codePC - (m.codeBase + m.codeBytes))
 			pc = m.codeBase
 			blk = pc >> 6
-			m.sink.Access(mem.Access{Addr: pc, Kind: mem.IFetch})
+			m.emit(mem.Access{Addr: pc, Kind: mem.IFetch})
 			break
 		}
-		m.sink.Access(mem.Access{Addr: pc, Kind: mem.IFetch})
+		m.emit(mem.Access{Addr: pc, Kind: mem.IFetch})
 	}
 	if m.pendInsts >= 1<<16 {
 		m.flush()
 	}
 }
 
-// flush forwards batched instruction counts to the sink.
+// flush drains the access buffer and forwards batched instruction
+// counts to the sink, in that order, so the sink sees every access
+// that preceded the counts.
 func (m *Machine) flush() {
+	if len(m.accBuf) > 0 {
+		m.batch.AccessBatch(m.accBuf)
+		m.accBuf = m.accBuf[:0]
+	}
 	if m.pendInsts > 0 {
 		m.sink.AddInstructions(m.pendInsts)
 		m.pendInsts = 0
@@ -218,13 +260,13 @@ func (m *Machine) flush() {
 // slot: the PC advances past it, so the several references of one loop
 // body occupy distinct, iteration-stable PCs.
 func (m *Machine) Load(a mem.Addr) {
-	m.sink.Access(mem.Access{Addr: a, PC: m.codePC, Kind: mem.Read})
+	m.emit(mem.Access{Addr: a, PC: m.codePC, Kind: mem.Read})
 	m.codePC += instBytes
 }
 
 // Store emits a data store (see Load for PC semantics).
 func (m *Machine) Store(a mem.Addr) {
-	m.sink.Access(mem.Access{Addr: a, PC: m.codePC, Kind: mem.Write})
+	m.emit(mem.Access{Addr: a, PC: m.codePC, Kind: mem.Write})
 	m.codePC += instBytes
 }
 
@@ -359,6 +401,53 @@ var order = []string{
 // growable marks the benchmarks Table 4 grows.
 var growable = map[string]bool{
 	"appsp": true, "appbt": true, "applu": true, "cgm": true, "mgrid": true,
+}
+
+// refCounts holds the measured reference count (data accesses plus
+// instruction fetches) of each benchmark at scale 1, small and large
+// inputs; zero marks an undefined large input. Iteration counts scale
+// linearly with the scale knob, so EstimateRefs extrapolates from
+// these. The numbers only size preallocations — a drifted estimate
+// costs one slice regrow, never correctness — so they do not need
+// re-measuring every time a kernel is retuned.
+var refCounts = map[string][2]uint64{
+	"embar":  {6029312, 0},
+	"mgrid":  {2252620, 17162060},
+	"cgm":    {6535200, 8265600},
+	"fftpde": {11010048, 0},
+	"is":     {5959840, 0},
+	"appsp":  {1347840, 10782720},
+	"appbt":  {4478976, 35831808},
+	"applu":  {1632960, 13374720},
+	"spec77": {7895040, 0},
+	"adm":    {4900080, 0},
+	"bdna":   {5898240, 0},
+	"dyfesm": {9686400, 0},
+	"mdg":    {13801830, 0},
+	"qcd":    {5256576, 0},
+	"trfd":   {10500000, 0},
+}
+
+// EstimateRefs estimates how many references the named benchmark
+// emits at the given input size and scale — the preallocation hint
+// for trace recording. Unknown benchmarks (or sizes) return zero,
+// which callers treat as "no hint".
+func EstimateRefs(name string, size Size, scale float64) uint64 {
+	counts, ok := refCounts[name]
+	if !ok {
+		return 0
+	}
+	n := counts[0]
+	if size == SizeLarge {
+		n = counts[1]
+	}
+	if scale < 1 {
+		// Kernels clamp each scaled loop to at least one iteration, so
+		// tiny scales undershoot a pure linear model; the +1% slack and
+		// the callers' tolerance for a regrow cover that.
+		n = uint64(float64(n) * scale * 1.01)
+	}
+	return n
 }
 
 // registry maps names to constructors; populated by nas.go/perfect.go.
