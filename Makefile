@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update paper quick examples clean
+.PHONY: all build test lint vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update paper quick examples serve service-smoke clean
 
 all: build lint test
 
@@ -59,6 +59,19 @@ bench-check:
 # bench-update refreshes the committed baseline on this machine.
 bench-update:
 	$(GO) run ./cmd/benchrun -bench '$(BENCH_HOT)' -benchtime 2s -count 5 -baseline BENCH_after.json -update
+
+# serve runs the simd job-service daemon (SIGINT/SIGTERM drain
+# gracefully; see cmd/simd and internal/service).
+serve:
+	$(GO) run ./cmd/simd -addr :8210
+
+# service-smoke is the end-to-end service gate: an in-process simd
+# self-test that checks every experiment's service result is
+# byte-identical to the direct in-process run, that a resubmission is
+# served from the memoized job store, and that an in-flight job
+# cancels promptly.
+service-smoke:
+	$(GO) run ./cmd/simd -selftest -selftest-scale 0.05
 
 # Regenerate every table and figure of the paper at full scale.
 paper:

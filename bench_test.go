@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -42,7 +43,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(benchOpts); err != nil {
+		if _, err := e.Run(context.Background(), benchOpts); err != nil {
 			b.Fatal(err)
 		}
 	}

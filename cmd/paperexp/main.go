@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"streamsim/internal/experiments"
@@ -24,14 +27,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Interrupts cancel the in-flight experiment within one replay
+	// batch instead of killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "paperexp:", err)
 		os.Exit(1)
 	}
 }
 
 // run parses args and executes; separated from main for testing.
-func run(args []string, stdout, stderr io.Writer) (err error) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("paperexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -86,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			fmt.Fprintln(stdout)
 		}
 		start := time.Now()
-		t, err := e.Run(opt)
+		t, err := e.Run(ctx, opt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestList(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-list"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"table1", "fig3", "table4", "extcpi", "extbase", "extcost"} {
@@ -20,21 +21,21 @@ func TestList(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-exp", "fig42"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-exp", "fig42"}, &out, &errb); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
 }
 
 func TestBadFormat(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-format", "xml"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-format", "xml"}, &out, &errb); err == nil {
 		t.Fatal("bad format should fail")
 	}
 }
 
 func TestSingleExperimentText(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-exp", "table2", "-scale", "0.05"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2", "-scale", "0.05"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -45,7 +46,7 @@ func TestSingleExperimentText(t *testing.T) {
 
 func TestCSVFormat(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-exp", "table2", "-scale", "0.05", "-format", "csv"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2", "-scale", "0.05", "-format", "csv"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -59,7 +60,7 @@ func TestCSVFormat(t *testing.T) {
 
 func TestPlotFlag(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-exp", "fig9", "-scale", "0.05", "-plot"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig9", "-scale", "0.05", "-plot"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -73,7 +74,7 @@ func TestPlotFlag(t *testing.T) {
 
 func TestTimedFlag(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-exp", "table2", "-scale", "0.05", "-time"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2", "-scale", "0.05", "-time"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "(table2 in ") {
@@ -83,7 +84,7 @@ func TestTimedFlag(t *testing.T) {
 
 func TestCommaSeparatedExperiments(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-exp", "table2,table3", "-scale", "0.05"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2,table3", "-scale", "0.05"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

@@ -1,0 +1,143 @@
+// Client mode: `streamsim submit` and `streamsim wait` talk to a
+// running simd daemon over the shared internal/service/api codec, so
+// long experiments can run on a server while the CLI follows (or
+// detaches from) the job.
+//
+//	streamsim submit -exp fig3 -scale 0.5 -wait
+//	streamsim submit -workload mgrid -param streams -values 1,2,4,8
+//	streamsim wait job-1 -csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"streamsim/internal/service/api"
+	"streamsim/internal/sweeprun"
+)
+
+// newClient builds the API client for a -server flag value.
+func newClient(server string) *api.Client {
+	return &api.Client{Base: strings.TrimRight(server, "/")}
+}
+
+// parseValues parses a -values list.
+func parseValues(s string) ([]int, error) {
+	var vals []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// runSubmit implements `streamsim submit`.
+func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("streamsim submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server = fs.String("server", "http://127.0.0.1:8210", "simd base URL")
+		exp    = fs.String("exp", "", "paper experiment ID (see paperexp -list)")
+		scale  = fs.Float64("scale", 0, "workload scale in (0, 1]; 0 means the default")
+		name   = fs.String("workload", "", "sweep: benchmark name")
+		param  = fs.String("param", "", "sweep: parameter to vary: "+sweeprun.ParamNames())
+		values = fs.String("values", "", "sweep: comma-separated integer values")
+		metric = fs.String("metric", "", "sweep: metric (hit, eb, missrate or cpi)")
+		sizeS  = fs.String("size", "", "sweep: input size (small or large)")
+		wait   = fs.Bool("wait", false, "follow the job and print its result")
+		csv    = fs.Bool("csv", false, "with -wait, print the result as CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var req api.SubmitRequest
+	switch {
+	case *exp != "" && *name != "":
+		return fmt.Errorf("-exp and -workload are mutually exclusive")
+	case *exp != "":
+		req = api.SubmitRequest{Experiment: *exp, Scale: *scale}
+	case *name != "":
+		if *param == "" || *values == "" {
+			return fmt.Errorf("sweep submission needs -param and -values")
+		}
+		vals, err := parseValues(*values)
+		if err != nil {
+			return err
+		}
+		spec := sweeprun.Spec{
+			Workload: *name, Size: *sizeS,
+			Param: *param, Values: vals,
+			Metric: *metric, Scale: *scale,
+		}
+		req = api.SubmitRequest{Sweep: &spec}
+	default:
+		return fmt.Errorf("nothing to submit: give -exp or -workload/-param/-values")
+	}
+	cl := newClient(*server)
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if st.Cached {
+		fmt.Fprintf(stdout, "%s %s (cached)\n", st.ID, st.State)
+	} else {
+		fmt.Fprintf(stdout, "%s %s\n", st.ID, st.State)
+	}
+	if !*wait {
+		return nil
+	}
+	if !st.State.Terminal() {
+		if st, err = cl.Wait(ctx, st.ID); err != nil {
+			return err
+		}
+	}
+	return printResult(stdout, st, *csv)
+}
+
+// runWait implements `streamsim wait <job-id>`.
+func runWait(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("streamsim wait", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server = fs.String("server", "http://127.0.0.1:8210", "simd base URL")
+		csv    = fs.Bool("csv", false, "print the result as CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: streamsim wait [-server URL] [-csv] <job-id>")
+	}
+	st, err := newClient(*server).Wait(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return printResult(stdout, st, *csv)
+}
+
+// printResult renders a terminal job, turning failed and cancelled
+// states into errors so the process exit code reflects them.
+func printResult(w io.Writer, st api.JobStatus, csv bool) error {
+	switch st.State {
+	case api.StateDone:
+		if csv {
+			fmt.Fprint(w, st.CSV)
+		} else {
+			fmt.Fprint(w, st.Text)
+		}
+		return nil
+	case api.StateCancelled:
+		return fmt.Errorf("job %s was cancelled", st.ID)
+	case api.StateFailed:
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	default:
+		return fmt.Errorf("job %s ended in unexpected state %s", st.ID, st.State)
+	}
+}

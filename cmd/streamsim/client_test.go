@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"streamsim/internal/service"
+	"streamsim/internal/service/api"
+	"streamsim/internal/sweeprun"
+	"streamsim/internal/tab"
+)
+
+// startFakeService runs a service with a canned runner and returns
+// its base URL. The runner records the last request it saw.
+func startFakeService(t *testing.T) (string, *api.SubmitRequest) {
+	t.Helper()
+	var last api.SubmitRequest
+	svc := service.New(service.Config{
+		Workers: 1,
+		RunJob: func(_ context.Context, req api.SubmitRequest) (*tab.Table, error) {
+			last = req
+			tbl := &tab.Table{Title: "fake result", Columns: []string{"k", "v"}}
+			tbl.AddRow("hit", "99.9")
+			return tbl, nil
+		},
+	})
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(svc.Abort)
+	return hs.URL, &last
+}
+
+func TestSubmitWaitExperiment(t *testing.T) {
+	url, last := startFakeService(t)
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{
+		"submit", "-server", url, "-exp", "fig3", "-scale", "0.5", "-wait"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "job-1") || !strings.Contains(s, "fake result") {
+		t.Errorf("output missing job id or result table:\n%s", s)
+	}
+	if last.Experiment != "fig3" || last.Scale != 0.5 {
+		t.Errorf("service saw request %+v, want fig3 at 0.5", *last)
+	}
+}
+
+func TestSubmitDetachedThenWait(t *testing.T) {
+	url, _ := startFakeService(t)
+	var out, errb bytes.Buffer
+	ctx := context.Background()
+	if err := run(ctx, []string{"submit", "-server", url, "-exp", "table1"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	id := strings.Fields(out.String())[0]
+	out.Reset()
+	if err := run(ctx, []string{"wait", "-server", url, "-csv", id}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hit,99.9") {
+		t.Errorf("wait -csv output:\n%s", out.String())
+	}
+}
+
+func TestSubmitSweepFlags(t *testing.T) {
+	url, last := startFakeService(t)
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{
+		"submit", "-server", url, "-workload", "mgrid", "-param", "streams",
+		"-values", "1,2,4", "-metric", "eb", "-wait"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweeprun.Spec{Workload: "mgrid", Param: "streams", Values: []int{1, 2, 4}, Metric: "eb"}.WithDefaults()
+	got := last.Sweep
+	if got == nil {
+		t.Fatalf("service saw no sweep: %+v", *last)
+	}
+	if got.Workload != want.Workload || got.Param != want.Param || got.Metric != want.Metric ||
+		got.Scale != want.Scale || len(got.Values) != 3 {
+		t.Errorf("service saw sweep %+v, want %+v", *got, want)
+	}
+}
+
+func TestSubmitMemoizedResponse(t *testing.T) {
+	url, _ := startFakeService(t)
+	ctx := context.Background()
+	var out, errb bytes.Buffer
+	if err := run(ctx, []string{"submit", "-server", url, "-exp", "table1", "-wait"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(ctx, []string{"submit", "-server", url, "-exp", "table1", "-wait"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(cached)") {
+		t.Errorf("second submission should be marked cached:\n%s", out.String())
+	}
+}
+
+func TestSubmitArgumentErrors(t *testing.T) {
+	ctx := context.Background()
+	var out, errb bytes.Buffer
+	if err := run(ctx, []string{"submit", "-server", "http://x"}, &out, &errb); err == nil {
+		t.Error("submit with nothing to run should fail")
+	}
+	if err := run(ctx, []string{"submit", "-server", "http://x", "-exp", "fig3", "-workload", "mgrid"}, &out, &errb); err == nil {
+		t.Error("submit with both -exp and -workload should fail")
+	}
+	if err := run(ctx, []string{"submit", "-server", "http://x", "-workload", "mgrid"}, &out, &errb); err == nil {
+		t.Error("sweep submit without -param/-values should fail")
+	}
+	if err := run(ctx, []string{"wait", "-server", "http://x"}, &out, &errb); err == nil {
+		t.Error("wait without a job id should fail")
+	}
+}
+
+func TestWaitFailedJobIsError(t *testing.T) {
+	var svcURL string
+	svc := service.New(service.Config{
+		Workers: 1,
+		RunJob: func(context.Context, api.SubmitRequest) (*tab.Table, error) {
+			return nil, context.DeadlineExceeded
+		},
+	})
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(svc.Abort)
+	svcURL = hs.URL
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{"submit", "-server", svcURL, "-exp", "fig3", "-wait"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Errorf("waiting on a failed job: err = %v, want failure", err)
+	}
+}

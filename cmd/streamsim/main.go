@@ -10,13 +10,19 @@
 //	          [-assoc 4] [-victim 0] [-partitioned] [-scale 1.0] [-v]
 //
 // With -workload all, every Table 1 benchmark is run in sequence.
+//
+// The subcommands `streamsim submit` and `streamsim wait` instead talk
+// to a running simd job service; see client.go.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"streamsim/internal/config"
@@ -26,14 +32,24 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "streamsim:", err)
 		os.Exit(1)
 	}
 }
 
 // run parses args and executes; separated from main for testing.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "submit":
+			return runSubmit(ctx, args[1:], stdout, stderr)
+		case "wait":
+			return runWait(ctx, args[1:], stdout, stderr)
+		}
+	}
 	fs := flag.NewFlagSet("streamsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -141,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := w.Run(sys, *scale); err != nil {
+		if err := w.RunContext(ctx, sys, *scale); err != nil {
 			return err
 		}
 		r := sys.Results()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestMissingWorkloadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run(nil, &out, &errb); err == nil {
+	if err := run(context.Background(), nil, &out, &errb); err == nil {
 		t.Fatal("missing -workload should fail")
 	}
 	if !strings.Contains(errb.String(), "mgrid") {
@@ -20,28 +21,28 @@ func TestMissingWorkloadFlag(t *testing.T) {
 
 func TestUnknownWorkload(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-workload", "nosuch"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-workload", "nosuch"}, &out, &errb); err == nil {
 		t.Fatal("unknown workload should fail")
 	}
 }
 
 func TestBadSize(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-workload", "mgrid", "-size", "huge"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-workload", "mgrid", "-size", "huge"}, &out, &errb); err == nil {
 		t.Fatal("bad size should fail")
 	}
 }
 
 func TestBadStrideScheme(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-workload", "mgrid", "-stride", "magic"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-workload", "mgrid", "-stride", "magic"}, &out, &errb); err == nil {
 		t.Fatal("bad stride scheme should fail")
 	}
 }
 
 func TestSingleBenchmarkRun(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "is", "-scale", "0.05"}, &out, &errb)
+	err := run(context.Background(), []string{"-workload", "is", "-scale", "0.05"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestSingleBenchmarkRun(t *testing.T) {
 
 func TestStreamsDisabled(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "is", "-streams", "0", "-scale", "0.05"}, &out, &errb)
+	err := run(context.Background(), []string{"-workload", "is", "-streams", "0", "-scale", "0.05"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestStreamsDisabled(t *testing.T) {
 
 func TestVerboseOutput(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "is", "-scale", "0.05", "-v"}, &out, &errb)
+	err := run(context.Background(), []string{"-workload", "is", "-scale", "0.05", "-v"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestVerboseOutput(t *testing.T) {
 
 func TestVictimAndPartitionedFlags(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-workload", "is", "-scale", "0.05",
+	err := run(context.Background(), []string{"-workload", "is", "-scale", "0.05",
 		"-assoc", "1", "-victim", "4", "-partitioned"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestVictimAndPartitionedFlags(t *testing.T) {
 
 func TestMinDeltaScheme(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-workload", "trfd", "-stride", "mindelta", "-scale", "0.05"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-workload", "trfd", "-stride", "mindelta", "-scale", "0.05"}, &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -106,7 +107,7 @@ func TestConfigFileWithOverride(t *testing.T) {
 	}
 	var out, errb bytes.Buffer
 	// -filter typed explicitly overrides the file's no-filter preset.
-	err := run([]string{"-workload", "is", "-scale", "0.05",
+	err := run(context.Background(), []string{"-workload", "is", "-scale", "0.05",
 		"-config", path, "-filter", "16", "-v"}, &out, &errb)
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +122,7 @@ func TestConfigFileWithOverride(t *testing.T) {
 
 func TestConfigFileMissing(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-workload", "is", "-config", "/no/such.json"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-workload", "is", "-config", "/no/such.json"}, &out, &errb); err == nil {
 		t.Fatal("missing config file should fail")
 	}
 }

@@ -1,6 +1,8 @@
 // Command sweep varies one memory-system parameter over a benchmark
 // and tabulates (or plots) a chosen metric — the exploration loop
-// behind every figure in the paper, generalized.
+// behind every figure in the paper, generalized. The engine lives in
+// internal/sweeprun, shared with the simd job service; this command
+// adds flag parsing, profiling hooks and ASCII plotting.
 //
 // Usage:
 //
@@ -15,97 +17,37 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"streamsim/internal/core"
 	"streamsim/internal/plot"
 	"streamsim/internal/profiling"
-	"streamsim/internal/tab"
-	"streamsim/internal/timing"
-	"streamsim/internal/workload"
+	"streamsim/internal/sweeprun"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-// params maps a -param name to a config mutator.
-var params = map[string]func(cfg *core.Config, v int) error{
-	"streams": func(cfg *core.Config, v int) error {
-		if v == 0 {
-			return fmt.Errorf("streams must be >= 1 in a sweep")
-		}
-		cfg.Streams.Streams = v
-		return nil
-	},
-	"depth": func(cfg *core.Config, v int) error {
-		cfg.Streams.Depth = v
-		return nil
-	},
-	"filter": func(cfg *core.Config, v int) error {
-		cfg.UnitFilterEntries = v
-		return nil
-	},
-	"czone": func(cfg *core.Config, v int) error {
-		if v < 1 {
-			return fmt.Errorf("czone bits must be positive")
-		}
-		cfg.CzoneBits = uint(v)
-		return nil
-	},
-	"assoc": func(cfg *core.Config, v int) error {
-		if v < 1 {
-			return fmt.Errorf("associativity must be positive")
-		}
-		cfg.L1I.Assoc = uint(v)
-		cfg.L1D.Assoc = uint(v)
-		return nil
-	},
-	"victim": func(cfg *core.Config, v int) error {
-		cfg.VictimEntries = v
-		return nil
-	},
-	"latency": func(cfg *core.Config, v int) error {
-		if v < 0 {
-			return fmt.Errorf("latency must be non-negative")
-		}
-		cfg.Streams.Latency = uint64(v)
-		return nil
-	},
-}
-
-// paramNames lists the sweepable parameters for error messages.
-func paramNames() string {
-	names := make([]string, 0, len(params))
-	for n := range params {
-		names = append(names, n)
-	}
-	// Stable order for messages.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
-	return strings.Join(names, ", ")
-}
-
 // run parses args and executes; separated from main for testing.
-func run(args []string, stdout, stderr io.Writer) (err error) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		name   = fs.String("workload", "", "benchmark name (or 'custom:<seq>,<stride>,<random>' mix shares)")
-		param  = fs.String("param", "", "parameter to sweep: "+paramNames())
+		param  = fs.String("param", "", "parameter to sweep: "+sweeprun.ParamNames())
 		values = fs.String("values", "", "comma-separated integer values")
 		metric = fs.String("metric", "hit", "metric: hit, eb, missrate or cpi")
 		scale  = fs.Float64("scale", 0.5, "workload iteration scale in (0, 1]")
@@ -129,10 +71,6 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *name == "" || *param == "" || *values == "" {
 		return fmt.Errorf("-workload, -param and -values are required")
 	}
-	mutate, ok := params[*param]
-	if !ok {
-		return fmt.Errorf("unknown parameter %q (available: %s)", *param, paramNames())
-	}
 	var vals []int
 	for _, s := range strings.Split(*values, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -142,108 +80,33 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		vals = append(vals, v)
 	}
 
-	w, err := buildWorkload(*name, *sizeS)
+	spec := sweeprun.Spec{
+		Workload: *name,
+		Size:     *sizeS,
+		Param:    *param,
+		Values:   vals,
+		Metric:   *metric,
+		Scale:    *scale,
+	}
+	t, series, err := sweeprun.Run(ctx, spec)
 	if err != nil {
 		return err
 	}
-
-	t := &tab.Table{
-		Title:   fmt.Sprintf("%s: %s vs %s", w.Name, *metric, *param),
-		Columns: []string{*param, *metric},
-	}
-	var series plot.Series
-	series.Name = w.Name
-	ticks := make([]string, 0, len(vals))
-	for _, v := range vals {
-		cfg := core.DefaultConfig()
-		if err := mutate(&cfg, v); err != nil {
-			return err
-		}
-		m, err := measure(w, cfg, *metric, *scale)
-		if err != nil {
-			return err
-		}
-		t.AddRow(strconv.Itoa(v), tab.F(m))
-		series.Values = append(series.Values, m)
-		ticks = append(ticks, strconv.Itoa(v))
-	}
 	fmt.Fprint(stdout, t.Render())
 	if *plotIt {
+		ticks := make([]string, 0, len(vals))
+		for _, v := range vals {
+			ticks = append(ticks, strconv.Itoa(v))
+		}
 		chart := &plot.Chart{
 			Title:  t.Title,
 			XLabel: *param, YLabel: *metric,
 			XTicks: ticks,
-			Series: []plot.Series{series},
+			Series: []plot.Series{{Name: *name, Values: series}},
 			Height: 16,
 		}
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, chart.Render())
 	}
 	return nil
-}
-
-// buildWorkload resolves a benchmark name or a custom:<mix> spec.
-func buildWorkload(name, sizeS string) (*workload.Workload, error) {
-	if mix, ok := strings.CutPrefix(name, "custom:"); ok {
-		parts := strings.Split(mix, ",")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("custom mix wants 3 comma-separated shares (seq,stride,random), got %q", mix)
-		}
-		var shares [3]float64
-		for i, p := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad share %q: %w", p, err)
-			}
-			shares[i] = v
-		}
-		return workload.Custom(workload.CustomParams{
-			SequentialShare: shares[0],
-			StrideShare:     shares[1],
-			RandomShare:     shares[2],
-		})
-	}
-	size := workload.SizeSmall
-	switch sizeS {
-	case "small":
-	case "large":
-		size = workload.SizeLarge
-	default:
-		return nil, fmt.Errorf("unknown size %q (small or large)", sizeS)
-	}
-	return workload.New(name, size)
-}
-
-// measure runs the workload through cfg and extracts the metric.
-func measure(w *workload.Workload, cfg core.Config, metric string, scale float64) (float64, error) {
-	switch metric {
-	case "hit", "eb", "missrate":
-		sys, err := core.New(cfg)
-		if err != nil {
-			return 0, err
-		}
-		if err := w.Run(sys, scale); err != nil {
-			return 0, err
-		}
-		r := sys.Results()
-		switch metric {
-		case "hit":
-			return r.StreamHitRate(), nil
-		case "eb":
-			return r.ExtraBandwidth(), nil
-		default:
-			return r.DataMissRate(), nil
-		}
-	case "cpi":
-		m, err := timing.New(cfg, timing.DefaultLatencies())
-		if err != nil {
-			return 0, err
-		}
-		if err := w.Run(m, scale); err != nil {
-			return 0, err
-		}
-		return m.Stats().CPI(), nil
-	default:
-		return 0, fmt.Errorf("unknown metric %q (hit, eb, missrate or cpi)", metric)
-	}
 }

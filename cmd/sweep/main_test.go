@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func doRun(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	err := run(args, &out, &errb)
+	err := run(context.Background(), args, &out, &errb)
 	return out.String(), err
 }
 

@@ -1,0 +1,33 @@
+// Cancellable replay of recorded traces through a System. This is the
+// layer the simd job service cancels at: the per-reference hot path
+// (Access/AccessBatch) stays free of any context machinery, and the
+// batch loop here polls the context once per ReplayBatchLen references,
+// so an in-flight run stops within one batch boundary.
+package core
+
+import (
+	"context"
+
+	"streamsim/internal/mem"
+	"streamsim/internal/trace"
+)
+
+// ReplayStore replays every access of a recorded trace through the
+// system on the batched hot path, polling ctx between batches. It
+// returns ctx.Err() if the replay was cancelled, in which case the
+// system has consumed a prefix of the trace; statistics of a completed
+// replay are byte-identical to calling Access in a loop.
+func ReplayStore(ctx context.Context, sys *System, st *trace.Store) error {
+	done := ctx.Done()
+	buf := make([]mem.Access, trace.ReplayBatchLen)
+	it := st.Iter()
+	for n := it.Next(buf); n > 0; n = it.Next(buf) {
+		sys.AccessBatch(buf[:n])
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}

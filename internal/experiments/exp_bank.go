@@ -9,6 +9,8 @@
 package experiments
 
 import (
+	"context"
+
 	"streamsim/internal/core"
 	"streamsim/internal/mem"
 	"streamsim/internal/memctl"
@@ -23,8 +25,8 @@ const bankRequestSpacing = 4
 
 // trafficOf captures the ordered block sequence a configuration moves
 // over the memory interface for one benchmark trace.
-func trafficOf(name string, size workload.Size, scale float64, cfg core.Config) ([]mem.Addr, error) {
-	tr, err := record(name, size, scale)
+func trafficOf(ctx context.Context, name string, size workload.Size, scale float64, cfg core.Config) ([]mem.Addr, error) {
+	tr, err := record(ctx, name, size, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +38,9 @@ func trafficOf(name string, size workload.Size, scale float64, cfg core.Config) 
 	if err != nil {
 		return nil, err
 	}
-	tr.replay(sys)
+	if err := tr.replay(ctx, sys); err != nil {
+		return nil, err
+	}
 	return blocks, nil
 }
 
@@ -57,7 +61,7 @@ func bankStats(blocks []mem.Addr, banks int) (memctl.Stats, error) {
 // BankBehaviour reports per-benchmark bank-conflict rates and average
 // waits under 8- and 32-bank memories, for the full stream
 // configuration's traffic. Registered as "extbank".
-func BankBehaviour(opt Options) (*tab.Table, error) {
+func BankBehaviour(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Extension: interleaved-memory bank behaviour of the stream traffic",
@@ -77,9 +81,9 @@ func BankBehaviour(opt Options) (*tab.Table, error) {
 		s8, s32 memctl.Stats
 	}
 	rows := make([]row, len(names))
-	err := runParallel(len(names), func(i int) error {
+	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
-		blocks, err := trafficOf(name, table1Size(name), opt.Scale, stridedStreams(16))
+		blocks, err := trafficOf(ctx, name, table1Size(name), opt.Scale, stridedStreams(16))
 		if err != nil {
 			return err
 		}

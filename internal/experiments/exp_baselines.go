@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+
 	"streamsim/internal/cache"
 	"streamsim/internal/mem"
 	"streamsim/internal/prefetch"
@@ -26,13 +28,13 @@ type baselineResult struct {
 // that fills the cache directly. rpt, when non-nil, additionally
 // observes every data reference (it is on-chip beside the load/store
 // unit); p supplies the miss/first-use hooks.
-func runOnChipPrefetcher(name string, size workload.Size, scale float64,
+func runOnChipPrefetcher(ctx context.Context, name string, size workload.Size, scale float64,
 	p prefetch.Prefetcher, rpt *prefetch.RPT) (baselineResult, error) {
-	tr, err := record(name, size, scale)
+	tr, err := record(ctx, name, size, scale)
 	if err != nil {
 		return baselineResult{}, err
 	}
-	base, err := missStream(name, size, scale) // baseline misses (no prefetch)
+	base, err := missStream(ctx, name, size, scale) // baseline misses (no prefetch)
 	if err != nil {
 		return baselineResult{}, err
 	}
@@ -79,7 +81,7 @@ func runOnChipPrefetcher(name string, size workload.Size, scale float64,
 		}
 	}
 
-	tr.each(func(pa *mem.Access) {
+	err = tr.each(ctx, func(pa *mem.Access) {
 		a := *pa
 		c := l1d
 		if a.Kind == mem.IFetch {
@@ -112,6 +114,9 @@ func runOnChipPrefetcher(name string, size workload.Size, scale float64,
 			}
 		}
 	})
+	if err != nil {
+		return baselineResult{}, err
+	}
 	wasted += uint64(len(pending)) // still untouched at end
 
 	out := baselineResult{}
@@ -124,7 +129,7 @@ func runOnChipPrefetcher(name string, size workload.Size, scale float64,
 
 // Baselines compares tagged OBL and the Baer-Chen RPT against the
 // paper's filtered stream buffers. Registered as "extbase".
-func Baselines(opt Options) (*tab.Table, error) {
+func Baselines(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Extension: stream buffers vs Section 2 prefetchers (miss coverage %, extra traffic %)",
@@ -140,7 +145,7 @@ func Baselines(opt Options) (*tab.Table, error) {
 	}
 	for _, name := range workload.Names() {
 		size := table1Size(name)
-		sres, err := runConfig(name, size, opt.Scale, stridedStreams(16))
+		sres, err := runConfig(ctx, name, size, opt.Scale, stridedStreams(16))
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +153,7 @@ func Baselines(opt Options) (*tab.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		oblRes, err := runOnChipPrefetcher(name, size, opt.Scale, obl, nil)
+		oblRes, err := runOnChipPrefetcher(ctx, name, size, opt.Scale, obl, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +161,7 @@ func Baselines(opt Options) (*tab.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rptRes, err := runOnChipPrefetcher(name, size, opt.Scale, rpt, rpt)
+		rptRes, err := runOnChipPrefetcher(ctx, name, size, opt.Scale, rpt, rpt)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+
 	"streamsim/internal/cache"
 	"streamsim/internal/cost"
 	"streamsim/internal/mem"
@@ -20,7 +22,7 @@ const costClockMHz = 100
 // EqualCost compares, per benchmark, a conventional node (1 MB L2,
 // baseline bandwidth) against an equal-cost stream node whose L2
 // savings were spent on memory bandwidth. Registered as "extcost".
-func EqualCost(opt Options) (*tab.Table, error) {
+func EqualCost(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	prices := cost.DefaultPrices()
 	l2Node := cost.Node{L2KB: 1 << 10, BandwidthMBps: 300}
@@ -55,10 +57,10 @@ func EqualCost(opt Options) (*tab.Table, error) {
 
 	names := workload.Names()
 	cells := make([][2]float64, len(names))
-	err = runParallel(len(names), func(i int) error {
+	err = runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
 		size := table1Size(name)
-		tr, err := record(name, size, opt.Scale)
+		tr, err := record(ctx, name, size, opt.Scale)
 		if err != nil {
 			return err
 		}
@@ -73,7 +75,9 @@ func EqualCost(opt Options) (*tab.Table, error) {
 		if err != nil {
 			return err
 		}
-		replayTimed(ml2, tr)
+		if err := replayTimed(ctx, ml2, tr); err != nil {
+			return err
+		}
 
 		latS := timing.DefaultLatencies()
 		latS.BusBlock = streamBus
@@ -81,7 +85,9 @@ func EqualCost(opt Options) (*tab.Table, error) {
 		if err != nil {
 			return err
 		}
-		replayTimed(ms, tr)
+		if err := replayTimed(ctx, ms, tr); err != nil {
+			return err
+		}
 
 		cells[i] = [2]float64{ml2.Stats().CPI(), ms.Stats().CPI()}
 		return nil
@@ -102,18 +108,22 @@ func EqualCost(opt Options) (*tab.Table, error) {
 
 // replayTimed feeds a recorded trace into a timing model, spreading
 // the instruction count across the accesses.
-func replayTimed(m *timing.Model, tr *recorded) {
+func replayTimed(ctx context.Context, m *timing.Model, tr *recorded) error {
 	perAccess := uint64(0)
 	if n := uint64(tr.store.Len()); n > 0 {
 		perAccess = tr.insts / n
 	}
 	var spent uint64
-	tr.each(func(a *mem.Access) {
+	err := tr.each(ctx, func(a *mem.Access) {
 		m.Access(*a)
 		m.AddInstructions(perAccess)
 		spent += perAccess
 	})
+	if err != nil {
+		return err
+	}
 	if tr.insts > spent {
 		m.AddInstructions(tr.insts - spent)
 	}
+	return nil
 }

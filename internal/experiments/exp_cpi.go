@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+
 	"streamsim/internal/core"
 	"streamsim/internal/tab"
 	"streamsim/internal/timing"
@@ -16,7 +18,7 @@ import (
 // systems: bare L1 + memory, L1 + unfiltered streams, and the paper's
 // full filtered configuration. It is an extension — no paper artefact
 // corresponds to it — registered as "extcpi".
-func CPI(opt Options) (*tab.Table, error) {
+func CPI(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Extension: effective CPI (in-order CPU, 50-cycle memory, 8-cycle bus blocks)",
@@ -31,15 +33,15 @@ func CPI(opt Options) (*tab.Table, error) {
 	lat := timing.DefaultLatencies()
 	for _, name := range workload.Names() {
 		size := table1Size(name)
-		bare, err := runTimed(name, size, opt.Scale, noStreams(), lat)
+		bare, err := runTimed(ctx, name, size, opt.Scale, noStreams(), lat)
 		if err != nil {
 			return nil, err
 		}
-		plain, err := runTimed(name, size, opt.Scale, plainStreams(10), lat)
+		plain, err := runTimed(ctx, name, size, opt.Scale, plainStreams(10), lat)
 		if err != nil {
 			return nil, err
 		}
-		full, err := runTimed(name, size, opt.Scale, stridedStreams(16), lat)
+		full, err := runTimed(ctx, name, size, opt.Scale, stridedStreams(16), lat)
 		if err != nil {
 			return nil, err
 		}
@@ -59,9 +61,9 @@ func CPI(opt Options) (*tab.Table, error) {
 }
 
 // runTimed replays a benchmark trace through a timing model.
-func runTimed(name string, size workload.Size, scale float64,
+func runTimed(ctx context.Context, name string, size workload.Size, scale float64,
 	cfg core.Config, lat timing.Latencies) (timing.Stats, error) {
-	tr, err := record(name, size, scale)
+	tr, err := record(ctx, name, size, scale)
 	if err != nil {
 		return timing.Stats{}, err
 	}
@@ -69,6 +71,8 @@ func runTimed(name string, size workload.Size, scale float64,
 	if err != nil {
 		return timing.Stats{}, err
 	}
-	replayTimed(m, tr)
+	if err := replayTimed(ctx, m, tr); err != nil {
+		return timing.Stats{}, err
+	}
 	return m.Stats(), nil
 }

@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"streamsim/internal/tab"
@@ -15,7 +16,7 @@ var figure3StreamCounts = []int{1, 2, 3, 4, 5, 6, 7, 8, 10}
 
 // Figure3 regenerates hit rate versus the number of streams for every
 // benchmark (unfiltered, depth 2).
-func Figure3(opt Options) (*tab.Table, error) {
+func Figure3(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	cols := []string{"benchmark"}
 	for _, n := range figure3StreamCounts {
@@ -32,10 +33,10 @@ func Figure3(opt Options) (*tab.Table, error) {
 	names := workload.Names()
 	nc := len(figure3StreamCounts)
 	cells := make([]float64, len(names)*nc)
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallel(ctx, len(cells), func(i int) error {
 		name := names[i/nc]
 		streams := figure3StreamCounts[i%nc]
-		r, err := runConfig(name, table1Size(name), opt.Scale, plainStreams(streams))
+		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, plainStreams(streams))
 		if err != nil {
 			return err
 		}
@@ -57,7 +58,7 @@ func Figure3(opt Options) (*tab.Table, error) {
 
 // Figure5 regenerates the filter study: hit rate and extra bandwidth
 // with and without the 16-entry unit-stride filter at ten streams.
-func Figure5(opt Options) (*tab.Table, error) {
+func Figure5(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Figure 5: effect of the unit-stride filter (10 streams, 16 entries)",
@@ -69,14 +70,14 @@ func Figure5(opt Options) (*tab.Table, error) {
 	names := workload.Names()
 	type pair struct{ plain, filt [2]float64 } // hit, EB
 	cells := make([]pair, len(names))
-	err := runParallel(len(names), func(i int) error {
+	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
 		size := table1Size(name)
-		plain, err := runConfig(name, size, opt.Scale, plainStreams(10))
+		plain, err := runConfig(ctx, name, size, opt.Scale, plainStreams(10))
 		if err != nil {
 			return err
 		}
-		filt, err := runConfig(name, size, opt.Scale, filteredStreams())
+		filt, err := runConfig(ctx, name, size, opt.Scale, filteredStreams())
 		if err != nil {
 			return err
 		}
@@ -111,7 +112,7 @@ func Figure5(opt Options) (*tab.Table, error) {
 // Figure8 regenerates the non-unit-stride study: unit-stride-only
 // streams versus the czone constant-stride scheme (both behind the
 // unit-stride filter, 10 streams, 16-entry filters, czone 16 bits).
-func Figure8(opt Options) (*tab.Table, error) {
+func Figure8(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Figure 8: unit-stride-only vs constant-stride detection (10 streams)",
@@ -125,14 +126,14 @@ func Figure8(opt Options) (*tab.Table, error) {
 	}
 	names := workload.Names()
 	cells := make([][2]float64, len(names))
-	err := runParallel(len(names), func(i int) error {
+	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
 		size := table1Size(name)
-		unit, err := runConfig(name, size, opt.Scale, filteredStreams())
+		unit, err := runConfig(ctx, name, size, opt.Scale, filteredStreams())
 		if err != nil {
 			return err
 		}
-		strided, err := runConfig(name, size, opt.Scale, stridedStreams(16))
+		strided, err := runConfig(ctx, name, size, opt.Scale, stridedStreams(16))
 		if err != nil {
 			return err
 		}
@@ -161,7 +162,7 @@ var figure9Benchmarks = []string{"appsp", "fftpde", "trfd"}
 
 // Figure9 regenerates hit-rate sensitivity to the czone size for the
 // three stride-heavy benchmarks.
-func Figure9(opt Options) (*tab.Table, error) {
+func Figure9(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	cols := []string{"benchmark"}
 	for _, b := range figure9CzoneBits {
@@ -177,10 +178,10 @@ func Figure9(opt Options) (*tab.Table, error) {
 	}
 	nc := len(figure9CzoneBits)
 	cells := make([]float64, len(figure9Benchmarks)*nc)
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallel(ctx, len(cells), func(i int) error {
 		name := figure9Benchmarks[i/nc]
 		bits := figure9CzoneBits[i%nc]
-		r, err := runConfig(name, table1Size(name), opt.Scale, stridedStreams(bits))
+		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, stridedStreams(bits))
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,8 @@
 package experiments
 
 import (
+	"context"
+
 	"streamsim/internal/tab"
 	"streamsim/internal/timing"
 	"streamsim/internal/workload"
@@ -31,7 +33,7 @@ func trafficRate(st timing.Stats, traffic uint64) float64 {
 // Scalability compares how many processors the shared memory sustains
 // per benchmark for unfiltered versus filtered streams. Registered as
 // "extscale".
-func Scalability(opt Options) (*tab.Table, error) {
+func Scalability(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Extension: processors sustained by a fixed shared memory system",
@@ -49,10 +51,10 @@ func Scalability(opt Options) (*tab.Table, error) {
 	lat.BusBlock = 0 // per-node latency only; the shared capacity is the analysis
 	names := workload.Names()
 	cells := make([][2]float64, len(names))
-	err := runParallel(len(names), func(i int) error {
+	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
 		size := table1Size(name)
-		tr, err := record(name, size, opt.Scale)
+		tr, err := record(ctx, name, size, opt.Scale)
 		if err != nil {
 			return err
 		}
@@ -65,7 +67,9 @@ func Scalability(opt Options) (*tab.Table, error) {
 			if err != nil {
 				return err
 			}
-			replayTimed(m, tr)
+			if err := replayTimed(ctx, m, tr); err != nil {
+				return err
+			}
 			cells[i][j] = trafficRate(m.Stats(), m.Results().MemoryTraffic())
 		}
 		return nil

@@ -2,6 +2,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"streamsim/internal/cache"
@@ -12,7 +13,7 @@ import (
 // Table1 regenerates benchmark characteristics: data-set size, primary
 // data-cache miss rate and misses per instruction, on the paper's bare
 // 64K+64K 4-way L1 system.
-func Table1(opt Options) (*tab.Table, error) {
+func Table1(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Table 1: benchmark characteristics (64KB I + 64KB D, 4-way, random repl.)",
@@ -32,7 +33,7 @@ func Table1(opt Options) (*tab.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := runConfig(name, size, opt.Scale, noStreams())
+		r, err := runConfig(ctx, name, size, opt.Scale, noStreams())
 		if err != nil {
 			return nil, err
 		}
@@ -49,14 +50,14 @@ func Table1(opt Options) (*tab.Table, error) {
 
 // Table2 regenerates the extra bandwidth consumed by ordinary
 // (unfiltered) streams at ten streams.
-func Table2(opt Options) (*tab.Table, error) {
+func Table2(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title:   "Table 2: extra bandwidth of ordinary streams (10 streams, no filter)",
 		Columns: []string{"benchmark", "EB %", "paper EB %", "hit %"},
 	}
 	for _, name := range workload.Names() {
-		r, err := runConfig(name, table1Size(name), opt.Scale, plainStreams(10))
+		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, plainStreams(10))
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +68,7 @@ func Table2(opt Options) (*tab.Table, error) {
 }
 
 // Table3 regenerates the stream length distribution at ten streams.
-func Table3(opt Options) (*tab.Table, error) {
+func Table3(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Table 3: stream length distribution, % of hits (10 streams)",
@@ -77,7 +78,7 @@ func Table3(opt Options) (*tab.Table, error) {
 		},
 	}
 	for _, name := range workload.Names() {
-		r, err := runConfig(name, table1Size(name), opt.Scale, plainStreams(10))
+		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, plainStreams(10))
 		if err != nil {
 			return nil, err
 		}
@@ -104,8 +105,8 @@ func l2SizeName(bytes uint) string {
 // minL2ForHitRate finds the smallest secondary cache (over
 // associativities 1-4 and block sizes 64/128, with set sampling)
 // whose local hit rate matches the stream hit rate.
-func minL2ForHitRate(name string, size workload.Size, scale, target float64) (string, float64, error) {
-	ms, err := missStream(name, size, scale)
+func minL2ForHitRate(ctx context.Context, name string, size workload.Size, scale, target float64) (string, float64, error) {
+	ms, err := missStream(ctx, name, size, scale)
 	if err != nil {
 		return "", 0, err
 	}
@@ -119,7 +120,7 @@ func minL2ForHitRate(name string, size workload.Size, scale, target float64) (st
 				if bytes <= 256<<10 {
 					sample = 1
 				}
-				hr, err := ms.l2LocalHitRate(cache.Config{
+				hr, err := ms.l2LocalHitRate(ctx, cache.Config{
 					Name: "L2", SizeBytes: bytes, Assoc: assoc, BlockBytes: blk,
 					Replacement: cache.LRU, Write: cache.WriteBack,
 					Alloc: cache.WriteAllocate, SampleEvery: sample,
@@ -143,7 +144,7 @@ func minL2ForHitRate(name string, size workload.Size, scale, target float64) (st
 // comparison: for each growable benchmark at both input sizes, the
 // stream hit rate (full Section 7 configuration) and the minimum
 // secondary cache matching it.
-func Table4(opt Options) (*tab.Table, error) {
+func Table4(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{
 		Title: "Table 4: stream buffers versus secondary cache",
@@ -162,15 +163,15 @@ func Table4(opt Options) (*tab.Table, error) {
 		l2  string
 	}
 	cells := make([]cell, len(paperTable4)*len(sizes))
-	err := runParallel(len(cells), func(i int) error {
+	err := runParallel(ctx, len(cells), func(i int) error {
 		ref := paperTable4[i/len(sizes)]
 		sz := sizes[i%len(sizes)]
-		r, err := runConfig(ref.Name, sz, opt.Scale, stridedStreams(16))
+		r, err := runConfig(ctx, ref.Name, sz, opt.Scale, stridedStreams(16))
 		if err != nil {
 			return err
 		}
 		hit := r.StreamHitRate()
-		l2, _, err := minL2ForHitRate(ref.Name, sz, opt.Scale, hit)
+		l2, _, err := minL2ForHitRate(ctx, ref.Name, sz, opt.Scale, hit)
 		if err != nil {
 			return err
 		}

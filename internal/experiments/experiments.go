@@ -9,9 +9,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"streamsim/internal/cache"
 	"streamsim/internal/core"
@@ -45,8 +47,10 @@ type Experiment struct {
 	ID string
 	// Paper names the artefact in the paper.
 	Paper string
-	// Run executes the experiment.
-	Run func(Options) (*tab.Table, error)
+	// Run executes the experiment. Cancelling ctx aborts the trace
+	// generation and replay loops within one batch boundary and
+	// returns ctx.Err().
+	Run func(ctx context.Context, o Options) (*tab.Table, error)
 }
 
 // All lists every experiment in paper order.
@@ -119,27 +123,46 @@ func (r *recorded) AddInstructions(n uint64) { r.insts += n }
 // each decodes the trace in batches and calls fn on every access in
 // order — the shared iteration shape for consumers that want scalar
 // visits (miss-stream derivation, the prefetcher baselines, the
-// timing replay) without paying per-access decode state.
-func (r *recorded) each(fn func(a *mem.Access)) {
+// timing replay) without paying per-access decode state. ctx is
+// polled once per batch; a cancelled walk returns ctx.Err().
+func (r *recorded) each(ctx context.Context, fn func(a *mem.Access)) error {
+	done := ctx.Done()
 	buf := make([]mem.Access, trace.ReplayBatchLen)
 	it := r.store.Iter()
 	for n := it.Next(buf); n > 0; n = it.Next(buf) {
 		for i := 0; i < n; i++ {
 			fn(&buf[i])
 		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 	}
+	replayedRefs.Add(uint64(r.store.Len()))
+	return nil
 }
 
 // replay feeds the trace into a memory system through the batched
-// hot path.
-func (r *recorded) replay(sys *core.System) {
-	buf := make([]mem.Access, trace.ReplayBatchLen)
-	it := r.store.Iter()
-	for n := it.Next(buf); n > 0; n = it.Next(buf) {
-		sys.AccessBatch(buf[:n])
+// hot path (core.ReplayStore), polling ctx between batches.
+func (r *recorded) replay(ctx context.Context, sys *core.System) error {
+	if err := core.ReplayStore(ctx, sys, r.store); err != nil {
+		return err
 	}
 	sys.AddInstructions(r.insts)
+	replayedRefs.Add(uint64(r.store.Len()))
+	return nil
 }
+
+// replayedRefs counts references replayed (or scalar-walked) through
+// completed trace passes, process-wide. The simd service exposes it as
+// a throughput metric; the add-per-completed-pass granularity keeps
+// the replay loop free of per-batch atomics.
+var replayedRefs atomic.Uint64
+
+// ReplayedRefs returns the total references replayed through completed
+// trace passes since process start.
+func ReplayedRefs() uint64 { return replayedRefs.Load() }
 
 // traceCache memoizes recorded traces per (name, size, scale) so a
 // multi-configuration experiment generates each workload once.
@@ -151,10 +174,19 @@ type traceKey struct {
 	scale float64
 }
 
+// traceCacheHits counts record() calls served from the memoized
+// trace cache, process-wide (a simd /metrics gauge).
+var traceCacheHits atomic.Uint64
+
+// TraceCacheHits returns how many trace lookups were served from the
+// in-process trace cache since process start.
+func TraceCacheHits() uint64 { return traceCacheHits.Load() }
+
 // record returns the (possibly cached) trace of a benchmark.
-func record(name string, size workload.Size, scale float64) (*recorded, error) {
+func record(ctx context.Context, name string, size workload.Size, scale float64) (*recorded, error) {
 	key := traceKey{name, size, scale}
 	if v, ok := traceCache.Load(key); ok {
+		traceCacheHits.Add(1)
 		return v.(*recorded), nil
 	}
 	w, err := workload.New(name, size)
@@ -162,25 +194,41 @@ func record(name string, size workload.Size, scale float64) (*recorded, error) {
 		return nil, err
 	}
 	r := newRecorded(name, size, scale)
-	if err := w.Run(r, scale); err != nil {
+	if err := w.RunContext(ctx, r, scale); err != nil {
 		return nil, err
 	}
 	if err := r.store.Err(); err != nil {
 		return nil, err
 	}
-	v, _ := traceCache.LoadOrStore(key, r)
+	v, loaded := traceCache.LoadOrStore(key, r)
+	if loaded {
+		traceCacheHits.Add(1)
+	}
 	return v.(*recorded), nil
 }
 
 // ResetTraceCache drops memoized traces (used by benchmarks that want
-// to measure generation cost).
-func ResetTraceCache() { traceCache = sync.Map{} }
+// to measure generation cost). Entries are deleted in place rather
+// than by reassigning the sync.Map value, which would race with
+// concurrent Loads from in-flight experiment runs.
+func ResetTraceCache() {
+	traceCache.Range(func(k, _ any) bool {
+		traceCache.Delete(k)
+		return true
+	})
+	l2StreamCache.Range(func(k, _ any) bool {
+		l2StreamCache.Delete(k)
+		return true
+	})
+}
 
 // runParallel executes fn(0..n-1) across up to GOMAXPROCS workers and
 // returns the first error. Each simulation run builds its own System,
 // so runs are independent; only the memoized trace caches are shared
-// (they are concurrency-safe).
-func runParallel(n int, fn func(i int) error) error {
+// (they are concurrency-safe). A cancelled ctx stops the dispatch of
+// further indices; indices already running observe ctx themselves
+// through the replay loops.
+func runParallel(ctx context.Context, n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -201,6 +249,9 @@ func runParallel(n int, fn func(i int) error) error {
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		idx <- i
 	}
 	close(idx)
@@ -210,7 +261,7 @@ func runParallel(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Memory-system configuration builders, named after the paper's setups.
@@ -252,8 +303,8 @@ func noStreams() core.Config {
 }
 
 // runConfig replays a benchmark trace through a configuration.
-func runConfig(name string, size workload.Size, scale float64, cfg core.Config) (core.Results, error) {
-	tr, err := record(name, size, scale)
+func runConfig(ctx context.Context, name string, size workload.Size, scale float64, cfg core.Config) (core.Results, error) {
+	tr, err := record(ctx, name, size, scale)
 	if err != nil {
 		return core.Results{}, err
 	}
@@ -261,7 +312,9 @@ func runConfig(name string, size workload.Size, scale float64, cfg core.Config) 
 	if err != nil {
 		return core.Results{}, err
 	}
-	tr.replay(sys)
+	if err := tr.replay(ctx, sys); err != nil {
+		return core.Results{}, err
+	}
 	return sys.Results(), nil
 }
 
@@ -281,12 +334,12 @@ type l2Event struct {
 var l2StreamCache sync.Map
 
 // missStream derives the L1 miss traffic of a benchmark trace.
-func missStream(name string, size workload.Size, scale float64) (*l2MissStream, error) {
+func missStream(ctx context.Context, name string, size workload.Size, scale float64) (*l2MissStream, error) {
 	key := traceKey{name, size, scale}
 	if v, ok := l2StreamCache.Load(key); ok {
 		return v.(*l2MissStream), nil
 	}
-	tr, err := record(name, size, scale)
+	tr, err := record(ctx, name, size, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +354,7 @@ func missStream(name string, size workload.Size, scale float64) (*l2MissStream, 
 	}
 	geom := cfg.Geometry
 	ms := &l2MissStream{}
-	tr.each(func(a *mem.Access) {
+	err = tr.each(ctx, func(a *mem.Access) {
 		c := l1d
 		if a.Kind == mem.IFetch {
 			c = l1i
@@ -325,22 +378,34 @@ func missStream(name string, size workload.Size, scale float64) (*l2MissStream, 
 			ms.events = append(ms.events, l2Event{addr: geom.BlockBase(a.Addr)})
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	v, _ := l2StreamCache.LoadOrStore(key, ms)
 	return v.(*l2MissStream), nil
 }
 
 // l2LocalHitRate replays a miss stream through one secondary cache
-// configuration and returns the local hit rate in percent.
-func (ms *l2MissStream) l2LocalHitRate(cfg cache.Config) (float64, error) {
+// configuration and returns the local hit rate in percent. ctx is
+// polled every ReplayBatchLen events.
+func (ms *l2MissStream) l2LocalHitRate(ctx context.Context, cfg cache.Config) (float64, error) {
 	l2, err := cache.New(cfg)
 	if err != nil {
 		return 0, err
 	}
-	for _, ev := range ms.events {
+	done := ctx.Done()
+	for i, ev := range ms.events {
 		if ev.write {
 			l2.Write(uint64(ev.addr))
 		} else {
 			l2.Read(uint64(ev.addr))
+		}
+		if i%trace.ReplayBatchLen == trace.ReplayBatchLen-1 {
+			select {
+			case <-done:
+				return 0, ctx.Err()
+			default:
+			}
 		}
 	}
 	return 100 * l2.Stats().HitRate(), nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -54,7 +55,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	tbl, err := Table1(quick)
+	tbl, err := Table1(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	tbl, err := Figure3(quick)
+	tbl, err := Figure3(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	tbl, err := Table2(quick)
+	tbl, err := Table2(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	tbl, err := Figure5(quick)
+	tbl, err := Figure5(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestTable3SharesSumTo100(t *testing.T) {
-	tbl, err := Table3(quick)
+	tbl, err := Table3(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestTable3SharesSumTo100(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	tbl, err := Figure8(quick)
+	tbl, err := Figure8(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
-	tbl, err := Figure9(quick)
+	tbl, err := Figure9(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	tbl, err := Table4(quick)
+	tbl, err := Table4(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,18 +163,18 @@ func TestTable4Shape(t *testing.T) {
 
 func TestTraceCacheReuse(t *testing.T) {
 	ResetTraceCache()
-	a, err := record("embar", workload.SizeSmall, 0.05)
+	a, err := record(context.Background(), "embar", workload.SizeSmall, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := record("embar", workload.SizeSmall, 0.05)
+	b, err := record(context.Background(), "embar", workload.SizeSmall, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("second record() should return the cached trace")
 	}
-	c, err := record("embar", workload.SizeSmall, 0.04)
+	c, err := record(context.Background(), "embar", workload.SizeSmall, 0.04)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,14 +184,14 @@ func TestTraceCacheReuse(t *testing.T) {
 }
 
 func TestMissStreamDeterministic(t *testing.T) {
-	a, err := missStream("is", workload.SizeSmall, 0.05)
+	a, err := missStream(context.Background(), "is", workload.SizeSmall, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a.events) == 0 {
 		t.Fatal("empty miss stream")
 	}
-	b, err := missStream("is", workload.SizeSmall, 0.05)
+	b, err := missStream(context.Background(), "is", workload.SizeSmall, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,13 +201,13 @@ func TestMissStreamDeterministic(t *testing.T) {
 }
 
 func TestL2HitRateMonotonicInSize(t *testing.T) {
-	ms, err := missStream("cgm", workload.SizeSmall, 0.1)
+	ms, err := missStream(context.Background(), "cgm", workload.SizeSmall, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	prev := -1.0
 	for _, size := range []uint{64 << 10, 512 << 10, 4 << 20} {
-		hr, err := ms.l2LocalHitRate(cache.Config{
+		hr, err := ms.l2LocalHitRate(context.Background(), cache.Config{
 			Name: "L2", SizeBytes: size, Assoc: 4, BlockBytes: 64,
 			Replacement: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
 		})
@@ -222,7 +223,7 @@ func TestL2HitRateMonotonicInSize(t *testing.T) {
 
 func TestMinL2ReportsUnreachable(t *testing.T) {
 	// A target of 101% can never be met.
-	name, _, err := minL2ForHitRate("is", workload.SizeSmall, 0.05, 101)
+	name, _, err := minL2ForHitRate(context.Background(), "is", workload.SizeSmall, 0.05, 101)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestL2SizeName(t *testing.T) {
 func TestRunParallelCoversAllIndices(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]bool{}
-	err := runParallel(37, func(i int) error {
+	err := runParallel(context.Background(), 37, func(i int) error {
 		mu.Lock()
 		seen[i] = true
 		mu.Unlock()
@@ -263,7 +264,7 @@ func TestRunParallelCoversAllIndices(t *testing.T) {
 
 func TestRunParallelPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	err := runParallel(10, func(i int) error {
+	err := runParallel(context.Background(), 10, func(i int) error {
 		if i == 7 {
 			return boom
 		}
@@ -275,7 +276,7 @@ func TestRunParallelPropagatesError(t *testing.T) {
 }
 
 func TestRunParallelZero(t *testing.T) {
-	if err := runParallel(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := runParallel(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("zero tasks should succeed, got %v", err)
 	}
 }

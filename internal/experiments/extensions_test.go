@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
@@ -16,7 +17,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 }
 
 func TestCPIExperimentShape(t *testing.T) {
-	tbl, err := CPI(quick)
+	tbl, err := CPI(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestCPIExperimentShape(t *testing.T) {
 }
 
 func TestBaselinesExperimentShape(t *testing.T) {
-	tbl, err := Baselines(quick)
+	tbl, err := Baselines(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestBaselinesExperimentShape(t *testing.T) {
 }
 
 func TestEqualCostExperimentShape(t *testing.T) {
-	tbl, err := EqualCost(quick)
+	tbl, err := EqualCost(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestEqualCostExperimentShape(t *testing.T) {
 }
 
 func TestScalabilityExperimentShape(t *testing.T) {
-	tbl, err := Scalability(quick)
+	tbl, err := Scalability(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestScalabilityExperimentShape(t *testing.T) {
 }
 
 func TestChartForFigures(t *testing.T) {
-	tbl, err := Figure9(quick)
+	tbl, err := Figure9(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestChartForFigures(t *testing.T) {
 }
 
 func TestChartForFig3FiltersRows(t *testing.T) {
-	tbl, err := Figure3(quick)
+	tbl, err := Figure3(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestChartForFig3FiltersRows(t *testing.T) {
 }
 
 func TestChartForTablesNotChartable(t *testing.T) {
-	tbl, err := Table2(quick)
+	tbl, err := Table2(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,95 @@
+// Package api is the wire codec of the simd job service, shared by
+// the server (internal/service), the streamsim submit/wait client
+// mode and the simd self-test. Keeping one request/response vocabulary
+// here is what lets the CLI and the service stay in lockstep.
+package api
+
+import (
+	"time"
+
+	"streamsim/internal/sweeprun"
+	"streamsim/internal/tab"
+)
+
+// Service paths.
+const (
+	// JobsPath accepts POST (submit) and GET (list); append /{id} for
+	// job status, /{id}/stream for NDJSON progress and DELETE /{id}
+	// to cancel.
+	JobsPath = "/v1/jobs"
+	// HealthPath answers 200 while the service accepts jobs.
+	HealthPath = "/healthz"
+	// MetricsPath serves the expvar-backed JSON metrics.
+	MetricsPath = "/metrics"
+)
+
+// SubmitRequest asks the service to run one job: either a paper
+// experiment by ID, or a parameter sweep. Exactly one of Experiment
+// and Sweep must be set.
+type SubmitRequest struct {
+	// Experiment is a paper artefact ID (e.g. "table1", "fig3"; see
+	// paperexp -list).
+	Experiment string `json:"experiment,omitempty"`
+	// Scale is the workload iteration scale in (0, 1] for experiment
+	// jobs; 0 means the experiment default of 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// Sweep describes a parameter-sweep job.
+	Sweep *sweeprun.Spec `json:"sweep,omitempty"`
+}
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	// StateQueued means the job waits for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is executing the job.
+	StateRunning JobState = "running"
+	// StateDone means the job finished and Table/Text/CSV are set.
+	StateDone JobState = "done"
+	// StateFailed means the job errored; Error is set.
+	StateFailed JobState = "failed"
+	// StateCancelled means the job was cancelled before finishing.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the service's view of one job, returned by every
+// endpoint and streamed as NDJSON lines by /v1/jobs/{id}/stream.
+type JobStatus struct {
+	// ID addresses the job in later calls.
+	ID string `json:"id"`
+	// Key is the canonical memoization hash of the request; two
+	// requests for the same artefact at the same options share it.
+	Key string `json:"key"`
+	// State is the lifecycle state.
+	State JobState `json:"state"`
+	// Request echoes the submitted (default-filled) request.
+	Request SubmitRequest `json:"request"`
+	// Cached is set on submit responses served from the memoized job
+	// store instead of enqueueing new work.
+	Cached bool `json:"cached,omitempty"`
+	// Error describes a failed job.
+	Error string `json:"error,omitempty"`
+	// Table is the structured result of a done job.
+	Table *tab.Table `json:"table,omitempty"`
+	// Text is the rendered form of Table (byte-identical to what the
+	// in-process harness prints).
+	Text string `json:"text,omitempty"`
+	// CSV is the CSV form of Table.
+	CSV string `json:"csv,omitempty"`
+	// Created, Started and Finished stamp the lifecycle transitions.
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope for non-2xx answers.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

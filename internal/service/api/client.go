@@ -1,0 +1,162 @@
+// The HTTP client side of the codec: what streamsim submit/wait and
+// the simd self-test use to talk to a running service.
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a simd server.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8210".
+	Base string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JobStatus or error envelope.
+func (c *Client) do(ctx context.Context, method, path string, body any) (JobStatus, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return JobStatus{}, decodeError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("api: decoding %s %s: %w", method, path, err)
+	}
+	return st, nil
+}
+
+// decodeError turns a non-2xx response into an error.
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	var e ErrorResponse
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return fmt.Errorf("api: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("api: %s: %s", resp.Status, bytes.TrimSpace(b))
+}
+
+// Submit enqueues a job (or is answered from the memoized store) and
+// returns its status.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobStatus, error) {
+	return c.do(ctx, http.MethodPost, JobsPath, req)
+}
+
+// Get returns the current status of a job.
+func (c *Client) Get(ctx context.Context, id string) (JobStatus, error) {
+	return c.do(ctx, http.MethodGet, JobsPath+"/"+id, nil)
+}
+
+// Cancel asks the service to cancel a job and returns its status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	return c.do(ctx, http.MethodDelete, JobsPath+"/"+id, nil)
+}
+
+// Wait follows the job's NDJSON progress stream until it reaches a
+// terminal state and returns the final status. If the stream drops
+// mid-job it falls back to polling.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+JobsPath+"/"+id+"/stream", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return JobStatus{}, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // result tables ride the last line
+	var last JobStatus
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, &last); err != nil {
+			return JobStatus{}, fmt.Errorf("api: bad stream line: %w", err)
+		}
+		if last.State.Terminal() {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() != nil {
+		return JobStatus{}, ctx.Err()
+	}
+	// Stream ended without a terminal state: poll.
+	return c.poll(ctx, id)
+}
+
+// poll falls back to periodic Gets until the job is terminal.
+func (c *Client) poll(ctx context.Context, id string) (JobStatus, error) {
+	t := time.NewTicker(200 * time.Millisecond)
+	defer t.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health checks the /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+HealthPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("api: health: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Canonical job keys. The memo store is keyed by a hash of the
+// default-filled request, so "table1 at scale 1" and "table1 with
+// scale omitted" — or a sweep with and without an explicit
+// metric:"hit" — land on the same entry, the service-level analogue
+// of the per-process traceCache key (name, size, scale).
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"streamsim/internal/service/api"
+)
+
+// normalize returns the request with every optional field filled with
+// its default, the form that is both hashed and echoed back to
+// clients.
+func normalize(req api.SubmitRequest) api.SubmitRequest {
+	if req.Experiment != "" && req.Scale == 0 {
+		req.Scale = 1.0
+	}
+	if req.Sweep != nil {
+		s := req.Sweep.WithDefaults()
+		req.Sweep = &s
+	}
+	return req
+}
+
+// canonicalKey hashes a normalized request. encoding/json marshals
+// struct fields in declaration order, so equal requests produce equal
+// bytes and therefore equal keys.
+func canonicalKey(req api.SubmitRequest) (string, error) {
+	b, err := json.Marshal(normalize(req))
+	if err != nil {
+		return "", fmt.Errorf("service: hashing request: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16]), nil
+}

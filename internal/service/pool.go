@@ -1,0 +1,61 @@
+// The worker pool: a bounded queue drained by a fixed set of worker
+// goroutines. Submission is non-blocking — a full backlog is reported
+// to the caller (the HTTP layer answers 503) instead of stalling the
+// request handler — and Drain stops intake and waits for in-flight
+// jobs, which is what makes SIGTERM graceful.
+package service
+
+import "sync"
+
+// pool runs jobs on a fixed number of workers over a bounded queue.
+type pool struct {
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newPool starts workers goroutines draining a backlog-deep queue,
+// calling run for each job.
+func newPool(workers, backlog int, run func(*job)) *pool {
+	p := &pool{queue: make(chan *job, backlog)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				run(j)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job; false means the backlog is full or the pool
+// is draining.
+func (p *pool) submit(j *job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// drain stops intake and blocks until every queued and running job
+// has finished. Safe to call more than once.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,69 @@
+// The default job runner: maps a submitted request onto the in-process
+// harness — experiments.Lookup(...).Run for paper artefacts,
+// sweeprun.Run for parameter sweeps — so service results are computed
+// by exactly the code paths the CLI uses.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"streamsim/internal/experiments"
+	"streamsim/internal/service/api"
+	"streamsim/internal/sweeprun"
+	"streamsim/internal/tab"
+)
+
+// runRequest executes one normalized request under ctx.
+func runRequest(ctx context.Context, req api.SubmitRequest) (*tab.Table, error) {
+	switch {
+	case req.Experiment != "" && req.Sweep != nil:
+		return nil, fmt.Errorf("service: request names both an experiment and a sweep")
+	case req.Experiment != "":
+		e, err := experiments.Lookup(req.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run(ctx, experiments.Options{Scale: req.Scale})
+	case req.Sweep != nil:
+		t, _, err := sweeprun.Run(ctx, *req.Sweep)
+		return t, err
+	default:
+		return nil, fmt.Errorf("service: request names neither an experiment nor a sweep")
+	}
+}
+
+// validateRequest rejects malformed requests before they are queued,
+// so submissions fail fast with 400 instead of producing failed jobs.
+func validateRequest(req api.SubmitRequest) error {
+	switch {
+	case req.Experiment != "" && req.Sweep != nil:
+		return fmt.Errorf("exactly one of experiment and sweep must be set, got both")
+	case req.Experiment != "":
+		if _, err := experiments.Lookup(req.Experiment); err != nil {
+			return fmt.Errorf("unknown experiment %q", req.Experiment)
+		}
+		if req.Scale <= 0 || req.Scale > 1 {
+			return fmt.Errorf("scale must be in (0, 1], got %g", req.Scale)
+		}
+		return nil
+	case req.Sweep != nil:
+		return req.Sweep.Validate()
+	default:
+		return fmt.Errorf("exactly one of experiment and sweep must be set, got neither")
+	}
+}
+
+// terminalFor classifies a job error: context cancellation becomes a
+// cancelled job, anything else a failed one.
+func terminalFor(s *Server, j *job, t *tab.Table, err error) {
+	switch {
+	case err == nil:
+		s.store.markDone(j, t)
+	case errors.Is(err, context.Canceled):
+		s.store.markCancelled(j)
+	default:
+		s.store.markFailed(j, err)
+	}
+}

@@ -1,0 +1,204 @@
+// The job store: every submitted job, addressable by ID, plus the
+// memo index from canonical request key to the job that computed (or
+// is computing) it. All state transitions happen under one mutex;
+// readers get snapshot copies, and each job carries a version counter
+// and a done channel so the NDJSON stream can push transitions
+// without polling the whole store.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamsim/internal/service/api"
+	"streamsim/internal/tab"
+)
+
+// job is one unit of work plus its lifecycle bookkeeping.
+type job struct {
+	status  api.JobStatus
+	ctx     context.Context // the run context a worker executes under
+	cancel  func()          // cancels ctx
+	done    chan struct{}   // closed on terminal state
+	version uint64          // bumped on every mutation
+	changed chan struct{}   // closed and replaced on every mutation
+}
+
+// store holds jobs and the memo index.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string          // submission order, for listing
+	byKey map[string]string // canonical key -> job ID
+	seq   int
+
+	memoHits uint64
+}
+
+func newStore() *store {
+	return &store{
+		jobs:  make(map[string]*job),
+		byKey: make(map[string]string),
+	}
+}
+
+// now is the store's clock (overridable in tests if ever needed).
+var now = time.Now
+
+// submit registers a new job for the request, or returns the existing
+// job that already computed (or is computing) the same canonical key.
+// The boolean is true when the caller must enqueue the returned job.
+func (s *store) submit(req api.SubmitRequest, key string, ctx context.Context, cancel func()) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.byKey[key]; ok {
+		j := s.jobs[id]
+		// Done, queued and running jobs are all shareable; failed and
+		// cancelled ones are not — resubmission retries them.
+		if !j.status.State.Terminal() || j.status.State == api.StateDone {
+			s.memoHits++
+			return j, false
+		}
+	}
+	s.seq++
+	j := &job{
+		status: api.JobStatus{
+			ID:      fmt.Sprintf("job-%d", s.seq),
+			Key:     key,
+			State:   api.StateQueued,
+			Request: req,
+			Created: now(),
+		},
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		changed: make(chan struct{}),
+	}
+	s.jobs[j.status.ID] = j
+	s.order = append(s.order, j.status.ID)
+	s.byKey[key] = j.status.ID
+	return j, true
+}
+
+// get returns the job by ID.
+func (s *store) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns a snapshot of every job in submission order.
+func (s *store) list() []api.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status)
+	}
+	return out
+}
+
+// snapshot returns a copy of the job's status and its version.
+func (s *store) snapshot(j *job) (api.JobStatus, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.status, j.version
+}
+
+// watch returns the channel closed at the next mutation after version
+// v, or nil if the job already moved past v (read the snapshot again).
+func (s *store) watch(j *job, v uint64) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.version != v {
+		return nil
+	}
+	return j.changed
+}
+
+// mutate applies fn under the lock and wakes watchers.
+func (s *store) mutate(j *job, fn func(*api.JobStatus)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(&j.status)
+	j.version++
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// markRunning moves a queued job to running; false if it was already
+// cancelled (the worker then skips it).
+func (s *store) markRunning(j *job) bool {
+	ok := false
+	s.mutate(j, func(st *api.JobStatus) {
+		if st.State != api.StateQueued {
+			return
+		}
+		t := now()
+		st.State, st.Started, ok = api.StateRunning, &t, true
+	})
+	return ok
+}
+
+// finish moves a job to a terminal state and closes its done channel.
+func (s *store) finish(j *job, fn func(*api.JobStatus)) {
+	s.mutate(j, func(st *api.JobStatus) {
+		if st.State.Terminal() {
+			return
+		}
+		t := now()
+		st.Finished = &t
+		fn(st)
+	})
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+}
+
+// markDone records a successful result.
+func (s *store) markDone(j *job, t *tab.Table) {
+	s.finish(j, func(st *api.JobStatus) {
+		st.State = api.StateDone
+		st.Table, st.Text, st.CSV = t, t.Render(), t.CSV()
+	})
+}
+
+// markFailed records an error.
+func (s *store) markFailed(j *job, err error) {
+	s.finish(j, func(st *api.JobStatus) {
+		st.State, st.Error = api.StateFailed, err.Error()
+	})
+}
+
+// markCancelled records a cancellation (queued or running).
+func (s *store) markCancelled(j *job) {
+	s.finish(j, func(st *api.JobStatus) {
+		st.State = api.StateCancelled
+	})
+}
+
+// stats summarizes job counts per state plus memo hits.
+func (s *store) stats() (queued, running, done, failed, cancelled int, memoHits uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		switch j.status.State {
+		case api.StateQueued:
+			queued++
+		case api.StateRunning:
+			running++
+		case api.StateDone:
+			done++
+		case api.StateFailed:
+			failed++
+		case api.StateCancelled:
+			cancelled++
+		}
+	}
+	return queued, running, done, failed, cancelled, s.memoHits
+}

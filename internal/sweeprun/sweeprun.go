@@ -1,0 +1,234 @@
+// Package sweeprun is the parameter-sweep engine shared by the sweep
+// CLI and the simd job service: vary one memory-system parameter over
+// a benchmark and tabulate a chosen metric. The CLI owns flag parsing
+// and plotting; the service owns queueing and memoization; both hand
+// a Spec to Run.
+package sweeprun
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"streamsim/internal/core"
+	"streamsim/internal/tab"
+	"streamsim/internal/timing"
+	"streamsim/internal/workload"
+)
+
+// Spec describes one sweep. The zero values of Size, Metric and Scale
+// mean "small", "hit" and 0.5 (the CLI's historical defaults).
+type Spec struct {
+	// Workload is a benchmark name from the paper's Table 1, or a
+	// "custom:<seq>,<stride>,<random>" mix.
+	Workload string `json:"workload"`
+	// Size is the input size: "small" (default) or "large".
+	Size string `json:"size,omitempty"`
+	// Param is the parameter to vary (see ParamNames).
+	Param string `json:"param"`
+	// Values are the parameter values, in presentation order.
+	Values []int `json:"values"`
+	// Metric is what to tabulate: hit, eb, missrate or cpi
+	// (default hit).
+	Metric string `json:"metric,omitempty"`
+	// Scale is the workload iteration scale in (0, 1] (default 0.5).
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// WithDefaults fills unset optional fields. The service hashes the
+// defaulted form so that an explicit default and an omitted field
+// memoize to the same job.
+func (s Spec) WithDefaults() Spec {
+	if s.Size == "" {
+		s.Size = "small"
+	}
+	if s.Metric == "" {
+		s.Metric = "hit"
+	}
+	if s.Scale == 0 {
+		s.Scale = 0.5
+	}
+	return s
+}
+
+// Validate rejects malformed specs without running anything.
+func (s Spec) Validate() error {
+	s = s.WithDefaults()
+	if s.Workload == "" {
+		return fmt.Errorf("sweeprun: workload is required")
+	}
+	if _, ok := params[s.Param]; !ok {
+		return fmt.Errorf("sweeprun: unknown parameter %q (available: %s)", s.Param, ParamNames())
+	}
+	if len(s.Values) == 0 {
+		return fmt.Errorf("sweeprun: at least one value is required")
+	}
+	switch s.Metric {
+	case "hit", "eb", "missrate", "cpi":
+	default:
+		return fmt.Errorf("sweeprun: unknown metric %q (hit, eb, missrate or cpi)", s.Metric)
+	}
+	if s.Scale <= 0 || s.Scale > 1 {
+		return fmt.Errorf("sweeprun: scale %v outside (0, 1]", s.Scale)
+	}
+	if _, err := buildWorkload(s.Workload, s.Size); err != nil {
+		return err
+	}
+	return nil
+}
+
+// params maps a parameter name to a config mutator.
+var params = map[string]func(cfg *core.Config, v int) error{
+	"streams": func(cfg *core.Config, v int) error {
+		if v == 0 {
+			return fmt.Errorf("streams must be >= 1 in a sweep")
+		}
+		cfg.Streams.Streams = v
+		return nil
+	},
+	"depth": func(cfg *core.Config, v int) error {
+		cfg.Streams.Depth = v
+		return nil
+	},
+	"filter": func(cfg *core.Config, v int) error {
+		cfg.UnitFilterEntries = v
+		return nil
+	},
+	"czone": func(cfg *core.Config, v int) error {
+		if v < 1 {
+			return fmt.Errorf("czone bits must be positive")
+		}
+		cfg.CzoneBits = uint(v)
+		return nil
+	},
+	"assoc": func(cfg *core.Config, v int) error {
+		if v < 1 {
+			return fmt.Errorf("associativity must be positive")
+		}
+		cfg.L1I.Assoc = uint(v)
+		cfg.L1D.Assoc = uint(v)
+		return nil
+	},
+	"victim": func(cfg *core.Config, v int) error {
+		cfg.VictimEntries = v
+		return nil
+	},
+	"latency": func(cfg *core.Config, v int) error {
+		if v < 0 {
+			return fmt.Errorf("latency must be non-negative")
+		}
+		cfg.Streams.Latency = uint64(v)
+		return nil
+	},
+}
+
+// ParamNames lists the sweepable parameters for error messages.
+func ParamNames() string {
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Run executes the sweep and returns the result table plus the raw
+// metric values (one per spec value, for plotting). Cancelling ctx
+// aborts the in-flight simulation within one batch boundary.
+func Run(ctx context.Context, s Spec) (*tab.Table, []float64, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	mutate := params[s.Param]
+	w, err := buildWorkload(s.Workload, s.Size)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &tab.Table{
+		Title:   fmt.Sprintf("%s: %s vs %s", w.Name, s.Metric, s.Param),
+		Columns: []string{s.Param, s.Metric},
+	}
+	values := make([]float64, 0, len(s.Values))
+	for _, v := range s.Values {
+		cfg := core.DefaultConfig()
+		if err := mutate(&cfg, v); err != nil {
+			return nil, nil, err
+		}
+		m, err := measure(ctx, w, cfg, s.Metric, s.Scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		t.AddRow(strconv.Itoa(v), tab.F(m))
+		values = append(values, m)
+	}
+	return t, values, nil
+}
+
+// buildWorkload resolves a benchmark name or a custom:<mix> spec.
+func buildWorkload(name, sizeS string) (*workload.Workload, error) {
+	if mix, ok := strings.CutPrefix(name, "custom:"); ok {
+		parts := strings.Split(mix, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("custom mix wants 3 comma-separated shares (seq,stride,random), got %q", mix)
+		}
+		var shares [3]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad share %q: %w", p, err)
+			}
+			shares[i] = v
+		}
+		return workload.Custom(workload.CustomParams{
+			SequentialShare: shares[0],
+			StrideShare:     shares[1],
+			RandomShare:     shares[2],
+		})
+	}
+	size := workload.SizeSmall
+	switch sizeS {
+	case "small":
+	case "large":
+		size = workload.SizeLarge
+	default:
+		return nil, fmt.Errorf("unknown size %q (small or large)", sizeS)
+	}
+	return workload.New(name, size)
+}
+
+// measure runs the workload through cfg and extracts the metric.
+func measure(ctx context.Context, w *workload.Workload, cfg core.Config, metric string, scale float64) (float64, error) {
+	switch metric {
+	case "hit", "eb", "missrate":
+		sys, err := core.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if err := w.RunContext(ctx, sys, scale); err != nil {
+			return 0, err
+		}
+		r := sys.Results()
+		switch metric {
+		case "hit":
+			return r.StreamHitRate(), nil
+		case "eb":
+			return r.ExtraBandwidth(), nil
+		default:
+			return r.DataMissRate(), nil
+		}
+	case "cpi":
+		m, err := timing.New(cfg, timing.DefaultLatencies())
+		if err != nil {
+			return 0, err
+		}
+		if err := w.RunContext(ctx, m, scale); err != nil {
+			return 0, err
+		}
+		return m.Stats().CPI(), nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q (hit, eb, missrate or cpi)", metric)
+	}
+}

@@ -15,6 +15,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -214,8 +215,26 @@ const ReplayBatchLen = 512
 // record flushing the pending batch first so the sink observes events
 // in exactly the recorded order.
 func (t *Reader) Replay(sink Sink) error {
+	return t.ReplayContext(context.Background(), sink)
+}
+
+// ReplayContext is Replay with cancellation: ctx is polled once per
+// ReplayBatchLen events (never per event), and a cancelled replay
+// returns ctx.Err() with the sink having consumed a prefix of the
+// trace.
+func (t *Reader) ReplayContext(ctx context.Context, sink Sink) error {
+	done := ctx.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	bs, ok := sink.(BatchSink)
 	if !ok {
+		n := 0
 		for {
 			ev, err := t.Next()
 			if err == io.EOF {
@@ -228,6 +247,12 @@ func (t *Reader) Replay(sink Sink) error {
 				sink.AddInstructions(ev.Insts)
 			} else {
 				sink.Access(ev.Access)
+			}
+			if n++; n >= ReplayBatchLen {
+				n = 0
+				if cancelled() {
+					return ctx.Err()
+				}
 			}
 		}
 	}
@@ -255,6 +280,9 @@ func (t *Reader) Replay(sink Sink) error {
 		buf = append(buf, ev.Access)
 		if len(buf) == ReplayBatchLen {
 			flush()
+			if cancelled() {
+				return ctx.Err()
+			}
 		}
 	}
 }

@@ -16,6 +16,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -87,14 +88,39 @@ type Workload struct {
 // Run drives the kernel, sending its references to sink. scale in
 // (0, 1] trades trace length for fidelity; 1 is the experiment default.
 func (w *Workload) Run(sink Sink, scale float64) error {
+	return w.RunContext(context.Background(), sink, scale)
+}
+
+// RunContext is Run with cancellation: the machine polls ctx once per
+// delivered batch (accBufLen references), never per reference, so a
+// cancelled kernel stops within one batch boundary at zero cost to the
+// hot path. On cancellation the sink has received a prefix of the
+// trace and the returned error is ctx.Err().
+func (w *Workload) RunContext(ctx context.Context, sink Sink, scale float64) (err error) {
 	if scale <= 0 || scale > 1 {
 		return fmt.Errorf("workload %s: scale %v outside (0, 1]", w.Name, scale)
 	}
 	m := newMachine(sink, w.Name)
+	m.ctx, m.done = ctx, ctx.Done()
+	// Kernel bodies are plain loops with no error returns; cancellation
+	// unwinds them with a typed panic that only RunContext throws and
+	// only this recover catches.
+	defer func() {
+		if r := recover(); r != nil {
+			cp, ok := r.(cancelUnwind)
+			if !ok {
+				panic(r)
+			}
+			err = cp.err
+		}
+	}()
 	w.run(m, scale)
 	m.flush()
 	return nil
 }
+
+// cancelUnwind carries the context error out of a cancelled kernel.
+type cancelUnwind struct{ err error }
 
 // iters scales an iteration count, keeping at least one iteration.
 func iters(n int, scale float64) int {
@@ -114,6 +140,10 @@ type Machine struct {
 	batch  BatchSink    // sink, when it supports batching; else nil
 	accBuf []mem.Access // pending references for the batch path
 	rng    *rand.Rand
+
+	ctx        context.Context // nil outside RunContext
+	done       <-chan struct{} // ctx.Done(), captured once; nil = never cancelled
+	scalarRefs int             // scalar-path emits since the last cancel poll
 
 	heap   mem.Addr // bump allocator cursor
 	allocs int      // allocation count, drives the de-aliasing skew
@@ -179,16 +209,34 @@ func newMachine(sink Sink, name string) *Machine {
 }
 
 // emit queues one reference, delivering the pending batch when full
-// (or immediately on the scalar path).
+// (or immediately on the scalar path). Cancellation is polled once per
+// accBufLen references on either path.
 func (m *Machine) emit(a mem.Access) {
 	if m.batch == nil {
 		m.sink.Access(a)
+		m.scalarRefs++
+		if m.scalarRefs >= accBufLen {
+			m.scalarRefs = 0
+			m.checkCancel()
+		}
 		return
 	}
 	m.accBuf = append(m.accBuf, a)
 	if len(m.accBuf) == accBufLen {
 		m.batch.AccessBatch(m.accBuf)
 		m.accBuf = m.accBuf[:0]
+		m.checkCancel()
+	}
+}
+
+// checkCancel polls the cancellation signal; a non-blocking receive on
+// a (possibly nil) channel, so the per-batch cost is a few nanoseconds
+// and the per-reference cost is zero.
+func (m *Machine) checkCancel() {
+	select {
+	case <-m.done:
+		panic(cancelUnwind{m.ctx.Err()})
+	default:
 	}
 }
 
