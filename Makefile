@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update paper quick examples serve service-smoke clean
+.PHONY: all build test lint vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update sweep-smoke paper quick examples serve service-smoke clean
 
 all: build lint test
 
@@ -41,7 +41,7 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Hot-path benchmark regexp shared by the bench-* gates below.
-BENCH_HOT = SystemThroughput$$|SystemThroughputBatch$$|TraceReplay$$|TraceReplayScalar$$
+BENCH_HOT = SystemThroughput$$|SystemThroughputBatch$$|TraceReplay$$|TraceReplayScalar$$|ReplayMulti2$$|ReplayMulti8$$
 
 # bench-smoke is the CI gate: one iteration per hot-path benchmark,
 # checked against the committed baseline (BENCH_after.json) by
@@ -59,6 +59,17 @@ bench-check:
 # bench-update refreshes the committed baseline on this machine.
 bench-update:
 	$(GO) run ./cmd/benchrun -bench '$(BENCH_HOT)' -benchtime 2s -count 5 -baseline BENCH_after.json -update
+
+# sweep-smoke exercises the parallel sweep scheduler end to end: the
+# same 8-value stream-count sweep runs serial (-parallel 1) and at one
+# worker per CPU (-parallel 0); the two outputs must be byte-identical
+# (the scheduler preserves deterministic value order at any width).
+SWEEP_SMOKE_ARGS = -workload mgrid -param streams -values 1,2,3,4,6,8,12,16 -scale 0.1
+sweep-smoke:
+	$(GO) run ./cmd/sweep $(SWEEP_SMOKE_ARGS) -parallel 1 > sweep-serial.out
+	$(GO) run ./cmd/sweep $(SWEEP_SMOKE_ARGS) -parallel 0 > sweep-parallel.out
+	cmp sweep-serial.out sweep-parallel.out
+	rm -f sweep-serial.out sweep-parallel.out
 
 # serve runs the simd job-service daemon (SIGINT/SIGTERM drain
 # gracefully; see cmd/simd and internal/service).

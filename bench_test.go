@@ -360,8 +360,15 @@ func BenchmarkSystemThroughputBatch(b *testing.B) {
 }
 
 // replayTrace memoizes one recorded workload trace for the replay
-// benchmarks: mgrid at scale 0.2 — long unit-stride streams with
-// stencil reuse, the trace shape every experiment replays most.
+// benchmarks: mgrid at full experiment scale — long unit-stride
+// streams with stencil reuse, the trace shape every experiment
+// replays most. Full scale matters for the replay comparison: the
+// materialized []mem.Access mirror is tens of megabytes (it streams
+// from DRAM, exactly as it did when the experiments kept traces that
+// way), while the compact store is a few megabytes and stays
+// cache-resident. A reduced-scale fixture would let the materialized
+// slice sit in the last-level cache and measure a regime the
+// experiments never run in.
 var replayTrace struct {
 	once  sync.Once
 	store *trace.Store
@@ -377,9 +384,10 @@ func replayFixture(b *testing.B) (*trace.Store, []mem.Access) {
 			replayTrace.err = err
 			return
 		}
-		st := trace.NewStore(int(workload.EstimateRefs("mgrid", workload.SizeSmall, 0.2)))
-		sink := &storeSink{store: st}
-		if err := w.Run(sink, 0.2); err != nil {
+		// A trace.Store is itself a workload.Sink, so the run records
+		// straight into the compact encoding.
+		st := trace.NewStore(int(workload.EstimateRefs("mgrid", workload.SizeSmall, 1.0)))
+		if err := w.Run(st, 1.0); err != nil {
 			replayTrace.err = err
 			return
 		}
@@ -396,30 +404,23 @@ func replayFixture(b *testing.B) (*trace.Store, []mem.Access) {
 	return replayTrace.store, replayTrace.accs
 }
 
-// storeSink adapts a trace.Store to workload.Sink for recording.
-type storeSink struct{ store *trace.Store }
-
-func (s *storeSink) Access(a mem.Access)           { s.store.Append(a) }
-func (s *storeSink) AccessBatch(accs []mem.Access) { s.store.AppendBatch(accs) }
-func (s *storeSink) AddInstructions(uint64)        {}
-
-// BenchmarkTraceReplay measures the experiment replay path end to end:
-// decode the compact trace store in batches and feed System.AccessBatch.
-// One op is one full-trace replay; refs/s is the headline simulator
-// throughput number cmd/benchrun tracks.
+// BenchmarkTraceReplay measures the experiment replay path end to end
+// (core.ReplayStore): decode the compact trace store in batches — on
+// the PC-skipping fast path, since a System never reads PCs — and feed
+// System.AccessBatch. One op is one full-trace replay; refs/s is the
+// headline simulator throughput number cmd/benchrun tracks.
 func BenchmarkTraceReplay(b *testing.B) {
 	store, _ := replayFixture(b)
 	refs := store.Len()
-	buf := make([]mem.Access, trace.ReplayBatchLen)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys, err := core.New(core.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
-		it := store.Iter()
-		for n := it.Next(buf); n > 0; n = it.Next(buf) {
-			sys.AccessBatch(buf[:n])
+		if err := core.ReplayStore(ctx, sys, store); err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
@@ -443,6 +444,57 @@ func BenchmarkTraceReplayScalar(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(accs))*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// benchReplayMulti measures the multi-config fan-out engine: one
+// decode pass drives nSys systems (sequential mode, the shape the
+// experiments use — the win being measured is decode elimination, not
+// goroutines). refs/s is aggregate: trace length × nSys per op.
+func benchReplayMulti(b *testing.B, nSys int) {
+	store, _ := replayFixture(b)
+	refs := store.Len()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		systems := make([]*core.System, nSys)
+		for j := range systems {
+			sys, err := core.New(core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			systems[j] = sys
+		}
+		if err := core.ReplayStoreMultiMode(ctx, systems, store, core.FanOutSequential); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(nSys)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkReplayMulti2 fans one decode out to 2 systems — the
+// fig5/fig8 shape (plain vs filtered).
+func BenchmarkReplayMulti2(b *testing.B) { benchReplayMulti(b, 2) }
+
+// BenchmarkReplayMulti8 fans one decode out to 8 systems — the
+// fig3/fig9 shape (a full x-axis sweep per benchmark).
+func BenchmarkReplayMulti8(b *testing.B) { benchReplayMulti(b, 8) }
+
+// BenchmarkTraceDecode isolates the decode half of BenchmarkTraceReplay:
+// the PC-skipping batch decode of the same recorded trace, with no
+// simulator attached. The difference between this and TraceReplay is
+// the simulation cost; the difference between this and zero is what
+// the compact encoding charges per reference at replay time.
+func BenchmarkTraceDecode(b *testing.B) {
+	store, _ := replayFixture(b)
+	refs := store.Len()
+	buf := make([]uint64, trace.ReplayBatchLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := store.Iter()
+		for n := it.NextPacked(buf); n > 0; n = it.NextPacked(buf) {
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
 }
 
 // BenchmarkWorkloadGeneration measures trace-generation speed (the

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -52,6 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		metric = fs.String("metric", "hit", "metric: hit, eb, missrate or cpi")
 		scale  = fs.Float64("scale", 0.5, "workload iteration scale in (0, 1]")
 		sizeS  = fs.String("size", "small", "input size: small or large")
+		par    = fs.Int("parallel", 1, "max sweep points measured concurrently (0 = one per CPU); results are identical at any width")
 		plotIt = fs.Bool("plot", false, "render the sweep as an ASCII chart")
 		cpupr  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mempr  = fs.String("memprofile", "", "write a heap profile to this file")
@@ -80,6 +82,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		vals = append(vals, v)
 	}
 
+	parallel := *par
+	if parallel == 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
 	spec := sweeprun.Spec{
 		Workload: *name,
 		Size:     *sizeS,
@@ -87,6 +93,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		Values:   vals,
 		Metric:   *metric,
 		Scale:    *scale,
+		Parallel: parallel,
 	}
 	t, series, err := sweeprun.Run(ctx, spec)
 	if err != nil {

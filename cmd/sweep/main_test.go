@@ -150,3 +150,25 @@ func TestMissRateMetricAndSizeFlag(t *testing.T) {
 		t.Fatal("bad size should fail")
 	}
 }
+
+func TestParallelFlagMatchesSequential(t *testing.T) {
+	seq, err := doRun(t, "-workload", "is", "-param", "streams",
+		"-values", "1,4,10", "-scale", "0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []string{"3", "0"} { // explicit width and one-per-CPU
+		got, err := doRun(t, "-workload", "is", "-param", "streams",
+			"-values", "1,4,10", "-scale", "0.05", "-parallel", par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != seq {
+			t.Errorf("-parallel %s output diverged:\nsequential:\n%s\nparallel:\n%s", par, seq, got)
+		}
+	}
+	if _, err := doRun(t, "-workload", "is", "-param", "streams",
+		"-values", "1", "-parallel", "-2", "-scale", "0.05"); err == nil {
+		t.Fatal("negative -parallel should fail")
+	}
+}

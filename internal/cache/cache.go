@@ -350,6 +350,83 @@ func (c *Cache) Probe(addr uint64) (way uint64, st ProbeStatus) {
 	return 0, ProbeMiss
 }
 
+// Prober is a batch-scoped snapshot of the lookup geometry Probe
+// reads. Every field is fixed at New time except the tags slice, whose
+// header never changes while its backing array takes the insertions —
+// so a Prober held across HitAt/MissAt calls still observes them. The
+// point is aliasing: Probe on the *Cache reloads seven geometry fields
+// per reference because the compiler must assume the interleaved
+// bookkeeping calls may write anywhere in the struct, while a Prober
+// kept in a caller's stack frame provably cannot alias those writes
+// and the loads hoist out of the batch loop entirely.
+type Prober struct {
+	tags       []uint64
+	setMask    uint64
+	sampleMod  uint64
+	assoc      uint64
+	blockShift uint
+	tagShift   uint
+	assocShift uint
+	deferHits  bool
+}
+
+// Prober returns the batch probe view of the cache. A Prober is cheap
+// to build (one copy, no allocation) and remains valid for the life of
+// the cache; batch loops build one per batch on the stack.
+func (c *Cache) Prober() Prober {
+	return Prober{
+		tags:       c.tags,
+		setMask:    c.setMask,
+		sampleMod:  c.sampleMod,
+		assoc:      c.assoc,
+		blockShift: c.blockShift,
+		tagShift:   c.tagShift,
+		assocShift: c.assocShift,
+		deferHits:  !c.stamped,
+	}
+}
+
+// DeferHits reports whether a read hit's entire bookkeeping is the hit
+// counter — HitAt(way, false) is then exactly AddHits(1). True for the
+// paper's random-replacement caches, whose hits touch no replacement
+// state; a batch loop may then count read hits in a register and flush
+// the total once per batch. False under LRU/FIFO, where every hit
+// must stamp the way and the per-reference HitAt path is mandatory.
+func (p *Prober) DeferHits() bool { return p.deferHits }
+
+// Probe is the Prober form of Cache.Probe: the same classification,
+// reading the snapshot's geometry. The tag scan ranges over a
+// sub-slice so the compiler drops the per-way bounds checks, which
+// keeps the method within the inlining budget at every call site.
+func (p *Prober) Probe(addr uint64) (way uint64, st ProbeStatus) {
+	blk := addr >> p.blockShift
+	set := blk & p.setMask
+	if p.sampleMod != 0 && set%p.sampleMod != 0 {
+		return 0, ProbeUnsampled
+	}
+	tag := blk >> p.tagShift
+	i := set << p.assocShift
+	for k, tv := range p.tags[i : i+p.assoc] {
+		if tv == tag {
+			return i + uint64(k), ProbeHit
+		}
+	}
+	return 0, ProbeMiss
+}
+
+// AddHits credits n deferred read hits in one update. Only valid when
+// the cache's Prober reports DeferHits — each credited hit must have
+// been a Probe that returned ProbeHit with no other bookkeeping due.
+func (c *Cache) AddHits(n uint64) { c.stats.Hits += n }
+
+// SetStats overwrites the statistics wholesale. It exists for the
+// multi-config replay engine: when every system in a fan-out shares an
+// identical L1 configuration, one leader simulates the front end and
+// the followers adopt its counters instead of re-deriving them
+// reference by reference. Any other use forfeits the invariant that
+// stats describe this cache's own history.
+func (c *Cache) SetStats(s Stats) { c.stats = s }
+
 // HitAt does the bookkeeping of a tag match at the way Probe returned:
 // hit count, replacement clock and LRU stamp, write-policy effects.
 // Inlinable, so the hit path stays call-free end to end.

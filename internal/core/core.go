@@ -147,7 +147,23 @@ type System struct {
 	finished     bool
 	bw           Bandwidth
 	out          Outcome // scratch for AccessOutcome
+
+	// tap, when non-nil, records every backend event missVia generates
+	// (L1 miss fills and write-backs) as packed words. The multi-config
+	// replay engine enables it on one leader system when every system
+	// in a fan-out shares the same L1 front end: the followers then
+	// replay only the tapped events through their stream-side state
+	// instead of re-simulating an identical L1 (see applyTap).
+	tap []uint64
 }
+
+// Backend event words carried in System.tap, low bits first: bit 0 is
+// the event type, bit 1 the ifetch flag of a fill, the rest the
+// address.
+const (
+	tapWriteBack = 1 // bits 2..: written-back block address
+	tapIFetch    = 2 // fill events only: the miss was an ifetch
+)
 
 // Bandwidth is the block-traffic ledger. All counts are in cache
 // blocks moved between the chip and main memory.
@@ -346,6 +362,65 @@ func (s *System) AccessBatch(accs []mem.Access) {
 	}
 }
 
+// AccessPacked presents packed references — uint64(addr)<<2 |
+// uint64(kind), the trace.(*StoreIter).NextPacked layout — in order.
+// It is the trace-replay hot path: the statistics produced are
+// byte-identical to AccessBatch over the equivalent mem.Access slice,
+// but each reference is a single word unpacked straight into the
+// probe, with no struct materialization between decode and simulation.
+func (s *System) AccessPacked(words []uint64) {
+	// Stack-resident probe snapshots: the compiler can prove the
+	// bookkeeping calls below never write through them, so the cache
+	// geometry loads hoist out of the loop instead of being reissued
+	// for every reference (see cache.Prober).
+	ld, li := s.l1d, s.l1i
+	pd, pi := ld.Prober(), li.Prober()
+	if !pd.DeferHits() || !pi.DeferHits() {
+		// Stamped replacement: every hit must update its way's stamp,
+		// so run the full per-reference bookkeeping.
+		for _, w := range words {
+			c, p, write, ifetch := ld, &pd, w&3 == uint64(mem.Write), false
+			if w&3 == uint64(IFetchKind) {
+				c, p, write, ifetch = li, &pi, false, true
+			}
+			way, st := p.Probe(w >> 2)
+			if st == cache.ProbeHit {
+				c.HitAt(way, write)
+				continue
+			}
+			s.missVia(c, mem.Addr(w>>2), write, ifetch, st)
+		}
+		return
+	}
+	// Random replacement (the paper's L1s): a read hit's only effect is
+	// the hit counter, so the dominant path of the loop accumulates in
+	// registers and flushes once per batch — no per-reference stores at
+	// all on a read hit.
+	var hitsD, hitsI uint64
+	for _, w := range words {
+		if w&3 == uint64(IFetchKind) {
+			if _, st := pi.Probe(w >> 2); st == cache.ProbeHit {
+				hitsI++
+			} else {
+				s.missVia(li, mem.Addr(w>>2), false, true, st)
+			}
+			continue
+		}
+		write := w&3 == uint64(mem.Write)
+		way, st := pd.Probe(w >> 2)
+		switch {
+		case st != cache.ProbeHit:
+			s.missVia(ld, mem.Addr(w>>2), write, false, st)
+		case write:
+			ld.HitAt(way, true)
+		default:
+			hitsD++
+		}
+	}
+	ld.AddHits(hitsD)
+	li.AddHits(hitsI)
+}
+
 // AccessOutcome is Access plus a report of how the reference was
 // serviced; timing models use it to charge latencies. The outcome is
 // accounted incrementally inside missVia (each step records what it
@@ -393,6 +468,9 @@ func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st c
 			s.out.WroteBack = true
 			s.noteTraffic(mem.Addr(wbBlock))
 			s.invalidateStreams(mem.Addr(wbBlock))
+			if s.tap != nil {
+				s.tap = append(s.tap, wbBlock<<2|tapWriteBack)
+			}
 		}
 	case res.WroteBack:
 		// No victim buffer: the dirty line goes straight to memory.
@@ -400,6 +478,9 @@ func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st c
 		s.out.WroteBack = true
 		s.noteTraffic(mem.Addr(res.VictimBlock))
 		s.invalidateStreams(mem.Addr(res.VictimBlock))
+		if s.tap != nil {
+			s.tap = append(s.tap, res.VictimBlock<<2|tapWriteBack)
+		}
 	}
 	if !res.Filled {
 		// No-write-allocate store miss: the store itself goes to
@@ -420,6 +501,13 @@ func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st c
 			}
 			return
 		}
+	}
+	if s.tap != nil {
+		ev := uint64(addr) << 2
+		if ifetch {
+			ev |= tapIFetch
+		}
+		s.tap = append(s.tap, ev)
 	}
 	set := s.streams
 	if ifetch && s.streamsI != nil {
@@ -462,6 +550,55 @@ func (s *System) invalidateStreams(blk mem.Addr) {
 	if s.streamsI != nil {
 		s.streamsI.InvalidateBlock(blk)
 	}
+}
+
+// applyTap replays a leader system's tapped backend events (see
+// System.tap) through this system's stream-side state: write-backs
+// invalidate streams and fill misses run the victim-less routing tail
+// of missVia. The caller guarantees this system's L1 front end is
+// configured identically to the leader's and has no victim cache, so
+// every L1 decision the leader made holds here verbatim; the L1
+// statistics themselves are copied once at the end of the replay
+// (adoptFrontStats) instead of being re-simulated.
+func (s *System) applyTap(events []uint64) {
+	for _, ev := range events {
+		if ev&tapWriteBack != 0 {
+			blk := mem.Addr(ev >> 2)
+			s.bw.WriteBacks++
+			s.noteTraffic(blk)
+			s.invalidateStreams(blk)
+			continue
+		}
+		addr := mem.Addr(ev >> 2)
+		ifetch := ev&tapIFetch != 0
+		blk := s.geom.BlockAddr(addr)
+		set := s.streams
+		if ifetch && s.streamsI != nil {
+			set = s.streamsI
+		}
+		if set == nil {
+			s.bw.DemandFetches++
+			s.noteTraffic(blk)
+			continue
+		}
+		if pr := set.ProbeOutcome(blk); pr.Hit {
+			s.bw.StreamFills++
+			continue
+		}
+		s.bw.DemandFetches++
+		s.noteTraffic(blk)
+		s.allocatePolicy(set, addr, blk)
+	}
+}
+
+// adoptFrontStats copies the shared-front L1 statistics from the
+// leader of a fan-out replay onto this follower, whose own L1 state
+// was never exercised (applyTap fed it backend events only). Identical
+// configuration and an identical reference stream make the leader's
+// L1 counters exactly what this system's would have been.
+func (s *System) adoptFrontStats(leader *System) {
+	s.l1i.SetStats(leader.l1i.Stats())
+	s.l1d.SetStats(leader.l1d.Stats())
 }
 
 // allocatePolicy implements the paper's allocation pipeline: no filter

@@ -1,0 +1,245 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"streamsim/internal/core"
+	"streamsim/internal/mem"
+	"streamsim/internal/stream"
+	"streamsim/internal/trace"
+	"streamsim/internal/workload"
+)
+
+// multiConfigs is the mixed configuration set the fan-out engine is
+// checked against: bare L1, plain streams at two widths, the filtered
+// configuration and the czone stride scheme — one of each hardware
+// shape the experiments replay through.
+func multiConfigs() []core.Config {
+	bare := core.DefaultConfig()
+	bare.Streams = stream.Config{}
+	bare.UnitFilterEntries = 0
+	bare.Stride = core.NoStrideDetection
+
+	plain := func(n int) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Streams = stream.Config{Streams: n, Depth: 2}
+		cfg.UnitFilterEntries = 0
+		cfg.Stride = core.NoStrideDetection
+		return cfg
+	}
+
+	filtered := plain(10)
+	filtered.UnitFilterEntries = 16
+
+	strided := filtered
+	strided.Stride = core.CzoneScheme
+	strided.StrideFilterEntries = 16
+	strided.CzoneBits = 16
+
+	return []core.Config{bare, plain(2), plain(8), filtered, strided}
+}
+
+// recordTrace runs a workload at a small scale straight into a
+// trace.Store (the Store is a workload.Sink).
+func recordTrace(t testing.TB, name string, scale float64) *trace.Store {
+	t.Helper()
+	w, err := workload.New(name, workload.SizeSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.NewStore(int(workload.EstimateRefs(name, workload.SizeSmall, scale)))
+	if err := w.Run(st, scale); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newSystems(t testing.TB, cfgs []core.Config) []*core.System {
+	t.Helper()
+	systems := make([]*core.System, len(cfgs))
+	for i, cfg := range cfgs {
+		sys, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+	}
+	return systems
+}
+
+// TestReplayStoreMultiMatchesIndependent pins the fan-out engine's
+// contract: for every workload and a mixed config set, both fan-out
+// modes produce per-system results identical to N independent
+// ReplayStore runs.
+func TestReplayStoreMultiMatchesIndependent(t *testing.T) {
+	const scale = 0.05
+	ctx := context.Background()
+	cfgs := multiConfigs()
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			st := recordTrace(t, name, scale)
+
+			want := make([]core.Results, len(cfgs))
+			for i, sys := range newSystems(t, cfgs) {
+				if err := core.ReplayStore(ctx, sys, st); err != nil {
+					t.Fatal(err)
+				}
+				want[i] = sys.Results()
+			}
+
+			for _, mode := range []struct {
+				name string
+				mode core.FanOut
+			}{
+				{"sequential", core.FanOutSequential},
+				{"sharded", core.FanOutSharded},
+			} {
+				systems := newSystems(t, cfgs)
+				if err := core.ReplayStoreMultiMode(ctx, systems, st, mode.mode); err != nil {
+					t.Fatal(err)
+				}
+				if got := core.LastFanOutWidth(); got != len(systems) {
+					t.Errorf("%s: LastFanOutWidth = %d, want %d", mode.name, got, len(systems))
+				}
+				for i, sys := range systems {
+					if got := sys.Results(); !reflect.DeepEqual(got, want[i]) {
+						t.Errorf("%s: config %d results diverge from independent replay:\ngot  %+v\nwant %+v",
+							mode.name, i, got, want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplayStoreMultiMixedFront pins the fan-out fallback: when the
+// systems do NOT share an L1 front end (different L1 geometry, or a
+// victim cache), the engine must replay every system in full and still
+// match independent runs. multiConfigs shares one front, so this set
+// deliberately breaks it three ways: a direct-mapped L1D, a victim
+// cache, and the shared baseline alongside them.
+func TestReplayStoreMultiMixedFront(t *testing.T) {
+	ctx := context.Background()
+	direct := core.DefaultConfig()
+	direct.L1D.Assoc = 1
+	direct.L1D.Replacement = 0 // LRU — stamped, exercises the non-deferred batch path too
+	victim := core.DefaultConfig()
+	victim.VictimEntries = 4
+	cfgs := []core.Config{core.DefaultConfig(), direct, victim}
+	for _, name := range []string{"mgrid", "cgm"} {
+		t.Run(name, func(t *testing.T) {
+			st := recordTrace(t, name, 0.05)
+			want := make([]core.Results, len(cfgs))
+			for i, sys := range newSystems(t, cfgs) {
+				if err := core.ReplayStore(ctx, sys, st); err != nil {
+					t.Fatal(err)
+				}
+				want[i] = sys.Results()
+			}
+			for _, mode := range []core.FanOut{core.FanOutSequential, core.FanOutSharded} {
+				systems := newSystems(t, cfgs)
+				if err := core.ReplayStoreMultiMode(ctx, systems, st, mode); err != nil {
+					t.Fatal(err)
+				}
+				for i, sys := range systems {
+					if got := sys.Results(); !reflect.DeepEqual(got, want[i]) {
+						t.Errorf("mode %v: config %d results diverge from independent replay:\ngot  %+v\nwant %+v",
+							mode, i, got, want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// syntheticStore builds a long strided trace without running a
+// workload, for cancellation tests that need many batches.
+func syntheticStore(nRefs int) *trace.Store {
+	st := trace.NewStore(nRefs)
+	a := mem.Access{Addr: 1 << 24, Kind: mem.Read}
+	for i := 0; i < nRefs; i++ {
+		st.Append(a)
+		a.Addr += 64
+	}
+	return st
+}
+
+// TestReplayStoreMultiCancel checks that a cancelled context aborts
+// the fan-out promptly in both modes: the call returns ctx.Err() and
+// no system consumes more than one extra batch after the cancel. The
+// pre-cancelled variant bounds the damage exactly; the mid-flight
+// variant (cancel from another goroutine) is the shape the simd
+// service exercises and runs race-clean under -race.
+func TestReplayStoreMultiCancel(t *testing.T) {
+	st := syntheticStore(64 * trace.ReplayBatchLen)
+	cfgs := multiConfigs()
+
+	for _, mode := range []struct {
+		name string
+		mode core.FanOut
+	}{
+		{"sequential", core.FanOutSequential},
+		{"sharded", core.FanOutSharded},
+	} {
+		t.Run(mode.name+"/pre-cancelled", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			systems := newSystems(t, cfgs)
+			if err := core.ReplayStoreMultiMode(ctx, systems, st, mode.mode); err != context.Canceled {
+				t.Fatalf("ReplayStoreMultiMode = %v, want context.Canceled", err)
+			}
+			for i, sys := range systems {
+				r := sys.Results()
+				if consumed := r.L1I.Accesses + r.L1D.Accesses; consumed > trace.ReplayBatchLen {
+					t.Errorf("system %d consumed %d refs after pre-cancel, want <= one batch (%d)",
+						i, consumed, trace.ReplayBatchLen)
+				}
+			}
+		})
+		t.Run(mode.name+"/mid-flight", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			systems := newSystems(t, cfgs)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			errc := make(chan error, 1)
+			go func() {
+				defer wg.Done()
+				errc <- core.ReplayStoreMultiMode(ctx, systems, st, mode.mode)
+			}()
+			cancel()
+			wg.Wait()
+			// The replay may have finished before the cancel landed;
+			// either outcome is legal, but a cancelled run must report
+			// context.Canceled, never a partial-success nil.
+			if err := <-errc; err != nil && err != context.Canceled {
+				t.Fatalf("ReplayStoreMultiMode = %v, want nil or context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestReplayStoreMultiDegenerate covers the zero- and one-system
+// shapes, which take dedicated paths.
+func TestReplayStoreMultiDegenerate(t *testing.T) {
+	ctx := context.Background()
+	st := syntheticStore(3 * trace.ReplayBatchLen)
+	if err := core.ReplayStoreMulti(ctx, nil, st); err != nil {
+		t.Fatalf("empty system set: %v", err)
+	}
+	one := newSystems(t, multiConfigs()[:1])
+	if err := core.ReplayStoreMulti(ctx, one, st); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.LastFanOutWidth(); got != 1 {
+		t.Errorf("LastFanOutWidth after single-system replay = %d, want 1", got)
+	}
+	if consumed := one[0].Results().L1D.Accesses; consumed != uint64(st.Len()) {
+		t.Errorf("single-system replay consumed %d refs, want %d", consumed, st.Len())
+	}
+}

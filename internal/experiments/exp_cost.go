@@ -13,6 +13,7 @@ import (
 	"streamsim/internal/mem"
 	"streamsim/internal/tab"
 	"streamsim/internal/timing"
+	"streamsim/internal/trace"
 	"streamsim/internal/workload"
 )
 
@@ -75,9 +76,6 @@ func EqualCost(ctx context.Context, opt Options) (*tab.Table, error) {
 		if err != nil {
 			return err
 		}
-		if err := replayTimed(ctx, ml2, tr); err != nil {
-			return err
-		}
 
 		latS := timing.DefaultLatencies()
 		latS.BusBlock = streamBus
@@ -85,7 +83,9 @@ func EqualCost(ctx context.Context, opt Options) (*tab.Table, error) {
 		if err != nil {
 			return err
 		}
-		if err := replayTimed(ctx, ms, tr); err != nil {
+
+		// Both nodes replay from one decode of the trace.
+		if err := replayTimedMulti(ctx, []*timing.Model{ml2, ms}, tr); err != nil {
 			return err
 		}
 
@@ -109,21 +109,43 @@ func EqualCost(ctx context.Context, opt Options) (*tab.Table, error) {
 // replayTimed feeds a recorded trace into a timing model, spreading
 // the instruction count across the accesses.
 func replayTimed(ctx context.Context, m *timing.Model, tr *recorded) error {
+	return replayTimedMulti(ctx, []*timing.Model{m}, tr)
+}
+
+// replayTimedMulti feeds one recorded trace into several timing
+// models from a single decode pass, spreading the instruction count
+// across the accesses exactly as replayTimed always has, so each
+// model's ledger is identical to an independent replayTimed run. The
+// decode skips the PC stream: the timing model, like core.System,
+// never reads Access.PC.
+func replayTimedMulti(ctx context.Context, models []*timing.Model, tr *recorded) error {
 	perAccess := uint64(0)
 	if n := uint64(tr.store.Len()); n > 0 {
 		perAccess = tr.insts / n
 	}
+	done := ctx.Done()
+	buf := make([]mem.Access, trace.ReplayBatchLen)
+	it := tr.store.Iter()
 	var spent uint64
-	err := tr.each(ctx, func(a *mem.Access) {
-		m.Access(*a)
-		m.AddInstructions(perAccess)
-		spent += perAccess
-	})
-	if err != nil {
-		return err
+	for n := it.NextNoPC(buf); n > 0; n = it.NextNoPC(buf) {
+		for _, m := range models {
+			for i := 0; i < n; i++ {
+				m.Access(buf[i])
+				m.AddInstructions(perAccess)
+			}
+		}
+		spent += uint64(n) * perAccess
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 	}
 	if tr.insts > spent {
-		m.AddInstructions(tr.insts - spent)
+		for _, m := range models {
+			m.AddInstructions(tr.insts - spent)
+		}
 	}
+	replayedRefs.Add(uint64(tr.store.Len()) * uint64(len(models)))
 	return nil
 }

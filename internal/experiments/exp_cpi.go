@@ -33,18 +33,21 @@ func CPI(ctx context.Context, opt Options) (*tab.Table, error) {
 	lat := timing.DefaultLatencies()
 	for _, name := range workload.Names() {
 		size := table1Size(name)
-		bare, err := runTimed(ctx, name, size, opt.Scale, noStreams(), lat)
+		tr, err := record(ctx, name, size, opt.Scale)
 		if err != nil {
 			return nil, err
 		}
-		plain, err := runTimed(ctx, name, size, opt.Scale, plainStreams(10), lat)
-		if err != nil {
+		// All three memory systems replay from one decode of the trace.
+		models := make([]*timing.Model, 3)
+		for i, cfg := range []core.Config{noStreams(), plainStreams(10), stridedStreams(16)} {
+			if models[i], err = timing.New(cfg, lat); err != nil {
+				return nil, err
+			}
+		}
+		if err := replayTimedMulti(ctx, models, tr); err != nil {
 			return nil, err
 		}
-		full, err := runTimed(ctx, name, size, opt.Scale, stridedStreams(16), lat)
-		if err != nil {
-			return nil, err
-		}
+		bare, plain, full := models[0].Stats(), models[1].Stats(), models[2].Stats()
 		speedup := 0.0
 		if full.CPI() > 0 {
 			speedup = bare.CPI() / full.CPI()
@@ -58,21 +61,4 @@ func CPI(ctx context.Context, opt Options) (*tab.Table, error) {
 			tab.F2(speedup), tab.F(busPct))
 	}
 	return t, nil
-}
-
-// runTimed replays a benchmark trace through a timing model.
-func runTimed(ctx context.Context, name string, size workload.Size, scale float64,
-	cfg core.Config, lat timing.Latencies) (timing.Stats, error) {
-	tr, err := record(ctx, name, size, scale)
-	if err != nil {
-		return timing.Stats{}, err
-	}
-	m, err := timing.New(cfg, lat)
-	if err != nil {
-		return timing.Stats{}, err
-	}
-	if err := replayTimed(ctx, m, tr); err != nil {
-		return timing.Stats{}, err
-	}
-	return m.Stats(), nil
 }

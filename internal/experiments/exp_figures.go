@@ -1,12 +1,15 @@
 // Figure experiments: the paper's Figures 3, 5, 8 and 9 as data
-// tables (one column per x-axis point). The per-cell simulations are
-// independent, so each figure fans out across the machine's cores.
+// tables (one column per x-axis point). Benchmarks fan out across the
+// machine's cores; within a benchmark, every x-axis configuration
+// replays from a single decode of the recorded trace (runConfigs), so
+// a nine-point sweep decodes its trace once instead of nine times.
 package experiments
 
 import (
 	"context"
 	"fmt"
 
+	"streamsim/internal/core"
 	"streamsim/internal/tab"
 	"streamsim/internal/workload"
 )
@@ -33,14 +36,19 @@ func Figure3(ctx context.Context, opt Options) (*tab.Table, error) {
 	names := workload.Names()
 	nc := len(figure3StreamCounts)
 	cells := make([]float64, len(names)*nc)
-	err := runParallel(ctx, len(cells), func(i int) error {
-		name := names[i/nc]
-		streams := figure3StreamCounts[i%nc]
-		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, plainStreams(streams))
+	err := runParallel(ctx, len(names), func(i int) error {
+		name := names[i]
+		cfgs := make([]core.Config, nc)
+		for j, streams := range figure3StreamCounts {
+			cfgs[j] = plainStreams(streams)
+		}
+		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale, cfgs)
 		if err != nil {
 			return err
 		}
-		cells[i] = r.StreamHitRate()
+		for j, r := range res {
+			cells[i*nc+j] = r.StreamHitRate()
+		}
 		return nil
 	})
 	if err != nil {
@@ -72,15 +80,12 @@ func Figure5(ctx context.Context, opt Options) (*tab.Table, error) {
 	cells := make([]pair, len(names))
 	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
-		size := table1Size(name)
-		plain, err := runConfig(ctx, name, size, opt.Scale, plainStreams(10))
+		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale,
+			[]core.Config{plainStreams(10), filteredStreams()})
 		if err != nil {
 			return err
 		}
-		filt, err := runConfig(ctx, name, size, opt.Scale, filteredStreams())
-		if err != nil {
-			return err
-		}
+		plain, filt := res[0], res[1]
 		cells[i] = pair{
 			plain: [2]float64{plain.StreamHitRate(), plain.ExtraBandwidth()},
 			filt:  [2]float64{filt.StreamHitRate(), filt.ExtraBandwidth()},
@@ -128,16 +133,12 @@ func Figure8(ctx context.Context, opt Options) (*tab.Table, error) {
 	cells := make([][2]float64, len(names))
 	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
-		size := table1Size(name)
-		unit, err := runConfig(ctx, name, size, opt.Scale, filteredStreams())
+		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale,
+			[]core.Config{filteredStreams(), stridedStreams(16)})
 		if err != nil {
 			return err
 		}
-		strided, err := runConfig(ctx, name, size, opt.Scale, stridedStreams(16))
-		if err != nil {
-			return err
-		}
-		cells[i] = [2]float64{unit.StreamHitRate(), strided.StreamHitRate()}
+		cells[i] = [2]float64{res[0].StreamHitRate(), res[1].StreamHitRate()}
 		return nil
 	})
 	if err != nil {
@@ -178,14 +179,19 @@ func Figure9(ctx context.Context, opt Options) (*tab.Table, error) {
 	}
 	nc := len(figure9CzoneBits)
 	cells := make([]float64, len(figure9Benchmarks)*nc)
-	err := runParallel(ctx, len(cells), func(i int) error {
-		name := figure9Benchmarks[i/nc]
-		bits := figure9CzoneBits[i%nc]
-		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, stridedStreams(bits))
+	err := runParallel(ctx, len(figure9Benchmarks), func(i int) error {
+		name := figure9Benchmarks[i]
+		cfgs := make([]core.Config, nc)
+		for j, bits := range figure9CzoneBits {
+			cfgs[j] = stridedStreams(bits)
+		}
+		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale, cfgs)
 		if err != nil {
 			return err
 		}
-		cells[i] = r.StreamHitRate()
+		for j, r := range res {
+			cells[i*nc+j] = r.StreamHitRate()
+		}
 		return nil
 	})
 	if err != nil {

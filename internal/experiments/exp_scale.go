@@ -58,18 +58,19 @@ func Scalability(ctx context.Context, opt Options) (*tab.Table, error) {
 		if err != nil {
 			return err
 		}
-		for j, cfg := range []struct{ filtered bool }{{false}, {true}} {
-			c := plainStreams(10)
-			if cfg.filtered {
-				c = stridedStreams(16)
-			}
-			m, err := timing.New(c, lat)
-			if err != nil {
-				return err
-			}
-			if err := replayTimed(ctx, m, tr); err != nil {
-				return err
-			}
+		unfiltered, err := timing.New(plainStreams(10), lat)
+		if err != nil {
+			return err
+		}
+		filtered, err := timing.New(stridedStreams(16), lat)
+		if err != nil {
+			return err
+		}
+		models := []*timing.Model{unfiltered, filtered}
+		if err := replayTimedMulti(ctx, models, tr); err != nil {
+			return err
+		}
+		for j, m := range models {
 			cells[i][j] = trafficRate(m.Stats(), m.Results().MemoryTraffic())
 		}
 		return nil

@@ -111,26 +111,32 @@ func minL2ForHitRate(ctx context.Context, name string, size workload.Size, scale
 		return "", 0, err
 	}
 	for _, bytes := range l2Sizes {
-		best := 0.0
+		// Sample every 16th set for multi-megabyte caches, as the paper
+		// does; small caches are simulated fully.
+		sample := uint(16)
+		if bytes <= 256<<10 {
+			sample = 1
+		}
+		// All six (assoc, block) shapes of one size replay from a single
+		// pass over the miss stream.
+		var cfgs []cache.Config
 		for _, assoc := range []uint{1, 2, 4} {
 			for _, blk := range []uint{64, 128} {
-				// Sample every 16th set for multi-megabyte caches, as
-				// the paper does; small caches are simulated fully.
-				sample := uint(16)
-				if bytes <= 256<<10 {
-					sample = 1
-				}
-				hr, err := ms.l2LocalHitRate(ctx, cache.Config{
+				cfgs = append(cfgs, cache.Config{
 					Name: "L2", SizeBytes: bytes, Assoc: assoc, BlockBytes: blk,
 					Replacement: cache.LRU, Write: cache.WriteBack,
 					Alloc: cache.WriteAllocate, SampleEvery: sample,
 				})
-				if err != nil {
-					return "", 0, err
-				}
-				if hr > best {
-					best = hr
-				}
+			}
+		}
+		hrs, err := ms.l2LocalHitRates(ctx, cfgs)
+		if err != nil {
+			return "", 0, err
+		}
+		best := 0.0
+		for _, hr := range hrs {
+			if hr > best {
+				best = hr
 			}
 		}
 		if best >= target {

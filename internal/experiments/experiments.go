@@ -154,6 +154,22 @@ func (r *recorded) replay(ctx context.Context, sys *core.System) error {
 	return nil
 }
 
+// replayMulti feeds the trace into every system from one decode per
+// batch via the core fan-out engine. Sequential mode is deliberate:
+// experiments already run benchmarks across the cores (runParallel),
+// so the win here is work elimination — N configs share each decoded
+// 512-reference slice while it is L1-hot — not more goroutines.
+func (r *recorded) replayMulti(ctx context.Context, systems []*core.System) error {
+	if err := core.ReplayStoreMultiMode(ctx, systems, r.store, core.FanOutSequential); err != nil {
+		return err
+	}
+	for _, sys := range systems {
+		sys.AddInstructions(r.insts)
+	}
+	replayedRefs.Add(uint64(r.store.Len()) * uint64(len(systems)))
+	return nil
+}
+
 // replayedRefs counts references replayed (or scalar-walked) through
 // completed trace passes, process-wide. The simd service exposes it as
 // a throughput metric; the add-per-completed-pass granularity keeps
@@ -318,6 +334,31 @@ func runConfig(ctx context.Context, name string, size workload.Size, scale float
 	return sys.Results(), nil
 }
 
+// runConfigs replays one benchmark trace through every configuration,
+// decoding each batch once for all of them. It is the multi-config
+// analogue of runConfig; each entry of the returned slice is
+// byte-identical to a runConfig call with the same configuration.
+func runConfigs(ctx context.Context, name string, size workload.Size, scale float64, cfgs []core.Config) ([]core.Results, error) {
+	tr, err := record(ctx, name, size, scale)
+	if err != nil {
+		return nil, err
+	}
+	systems := make([]*core.System, len(cfgs))
+	for i, cfg := range cfgs {
+		if systems[i], err = core.New(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.replayMulti(ctx, systems); err != nil {
+		return nil, err
+	}
+	res := make([]core.Results, len(systems))
+	for i, sys := range systems {
+		res[i] = sys.Results()
+	}
+	return res, nil
+}
+
 // l2MissStream is the L1 miss-side traffic of one trace: the block
 // fills and write-backs that a secondary cache would observe. It is
 // recorded once and replayed across L2 configurations (Table 4).
@@ -386,27 +427,53 @@ func missStream(ctx context.Context, name string, size workload.Size, scale floa
 }
 
 // l2LocalHitRate replays a miss stream through one secondary cache
-// configuration and returns the local hit rate in percent. ctx is
-// polled every ReplayBatchLen events.
+// configuration and returns the local hit rate in percent.
 func (ms *l2MissStream) l2LocalHitRate(ctx context.Context, cfg cache.Config) (float64, error) {
-	l2, err := cache.New(cfg)
+	hrs, err := ms.l2LocalHitRates(ctx, []cache.Config{cfg})
 	if err != nil {
 		return 0, err
+	}
+	return hrs[0], nil
+}
+
+// l2LocalHitRates replays a miss stream through several secondary
+// cache configurations in one pass over the events — the Table 4
+// search probes six (assoc, block) shapes per cache size, and the
+// event list only has to stream through the host's caches once for
+// all of them. Hit rates return in percent, in configuration order,
+// identical to separate l2LocalHitRate calls. ctx is polled every
+// ReplayBatchLen events.
+func (ms *l2MissStream) l2LocalHitRates(ctx context.Context, cfgs []cache.Config) ([]float64, error) {
+	caches := make([]*cache.Cache, len(cfgs))
+	for i, cfg := range cfgs {
+		l2, err := cache.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = l2
 	}
 	done := ctx.Done()
 	for i, ev := range ms.events {
 		if ev.write {
-			l2.Write(uint64(ev.addr))
+			for _, l2 := range caches {
+				l2.Write(uint64(ev.addr))
+			}
 		} else {
-			l2.Read(uint64(ev.addr))
+			for _, l2 := range caches {
+				l2.Read(uint64(ev.addr))
+			}
 		}
 		if i%trace.ReplayBatchLen == trace.ReplayBatchLen-1 {
 			select {
 			case <-done:
-				return 0, ctx.Err()
+				return nil, ctx.Err()
 			default:
 			}
 		}
 	}
-	return 100 * l2.Stats().HitRate(), nil
+	hrs := make([]float64, len(caches))
+	for i, l2 := range caches {
+		hrs[i] = 100 * l2.Stats().HitRate()
+	}
+	return hrs, nil
 }

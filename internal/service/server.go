@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamsim/internal/core"
 	"streamsim/internal/experiments"
 	"streamsim/internal/service/api"
 	"streamsim/internal/tab"
@@ -114,6 +115,7 @@ func (s *Server) initMetrics() {
 	gauge("workers", func() any { return s.cfg.Workers })
 	gauge("trace_cache_hits", func() any { return experiments.TraceCacheHits() })
 	gauge("refs_replayed_total", func() any { return experiments.ReplayedRefs() })
+	gauge("replay_fanout_width", func() any { return core.LastFanOutWidth() })
 	gauge("refs_per_sec", func() any {
 		up := now().Sub(s.start).Seconds()
 		if up <= 0 {

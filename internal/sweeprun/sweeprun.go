@@ -11,10 +11,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"streamsim/internal/core"
 	"streamsim/internal/tab"
 	"streamsim/internal/timing"
+	"streamsim/internal/trace"
 	"streamsim/internal/workload"
 )
 
@@ -35,6 +37,13 @@ type Spec struct {
 	Metric string `json:"metric,omitempty"`
 	// Scale is the workload iteration scale in (0, 1] (default 0.5).
 	Scale float64 `json:"scale,omitempty"`
+	// Parallel is the maximum number of sweep points measured
+	// concurrently. 0 and 1 both mean sequential (the historical
+	// behaviour, and the omitempty zero keeps service memo keys of
+	// older requests unchanged). The result is identical at any
+	// width: points are independent replays of one recorded trace,
+	// and the output keeps presentation order.
+	Parallel int `json:"parallel,omitempty"`
 }
 
 // WithDefaults fills unset optional fields. The service hashes the
@@ -72,6 +81,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Scale <= 0 || s.Scale > 1 {
 		return fmt.Errorf("sweeprun: scale %v outside (0, 1]", s.Scale)
+	}
+	if s.Parallel < 0 {
+		return fmt.Errorf("sweeprun: parallel %d must be >= 0", s.Parallel)
 	}
 	if _, err := buildWorkload(s.Workload, s.Size); err != nil {
 		return err
@@ -135,8 +147,11 @@ func ParamNames() string {
 }
 
 // Run executes the sweep and returns the result table plus the raw
-// metric values (one per spec value, for plotting). Cancelling ctx
-// aborts the in-flight simulation within one batch boundary.
+// metric values (one per spec value, for plotting). The workload is
+// generated exactly once, into a compact trace store; every sweep
+// point replays that recording, up to Spec.Parallel points at a time.
+// Cancelling ctx aborts recording and every in-flight replay within
+// one batch boundary.
 func Run(ctx context.Context, s Spec) (*tab.Table, []float64, error) {
 	s = s.WithDefaults()
 	if err := s.Validate(); err != nil {
@@ -147,24 +162,131 @@ func Run(ctx context.Context, s Spec) (*tab.Table, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	t := &tab.Table{
-		Title:   fmt.Sprintf("%s: %s vs %s", w.Name, s.Metric, s.Param),
-		Columns: []string{s.Param, s.Metric},
-	}
-	values := make([]float64, 0, len(s.Values))
-	for _, v := range s.Values {
+	// Build every configuration up front so a bad value fails before
+	// any simulation runs.
+	cfgs := make([]core.Config, len(s.Values))
+	for i, v := range s.Values {
 		cfg := core.DefaultConfig()
 		if err := mutate(&cfg, v); err != nil {
 			return nil, nil, err
 		}
-		m, err := measure(ctx, w, cfg, s.Metric, s.Scale)
-		if err != nil {
-			return nil, nil, err
-		}
-		t.AddRow(strconv.Itoa(v), tab.F(m))
-		values = append(values, m)
+		cfgs[i] = cfg
+	}
+	// Record once. The store keeps the full event order (accesses and
+	// positioned instruction counts), so a CPI replay charges cycles in
+	// exactly the sequence a live run would.
+	sz := workload.SizeSmall
+	if s.Size == "large" {
+		sz = workload.SizeLarge
+	}
+	tr := trace.NewStore(int(workload.EstimateRefs(w.Name, sz, s.Scale)))
+	if err := w.RunContext(ctx, tr, s.Scale); err != nil {
+		return nil, nil, err
+	}
+	if err := tr.Err(); err != nil {
+		return nil, nil, err
+	}
+	values := make([]float64, len(cfgs))
+	if err := runPoints(ctx, s, tr, cfgs, values); err != nil {
+		return nil, nil, err
+	}
+	t := &tab.Table{
+		Title:   fmt.Sprintf("%s: %s vs %s", w.Name, s.Metric, s.Param),
+		Columns: []string{s.Param, s.Metric},
+	}
+	for i, v := range s.Values {
+		t.AddRow(strconv.Itoa(v), tab.F(values[i]))
 	}
 	return t, values, nil
+}
+
+// runPoints measures every sweep point into values, dispatching up to
+// s.Parallel points across workers. Each point runs under its own
+// child context; the first failure cancels the rest. Output order is
+// deterministic regardless of width because values is indexed by
+// point, not by completion.
+func runPoints(ctx context.Context, s Spec, tr *trace.Store, cfgs []core.Config, values []float64) error {
+	// The hit-rate family measured serially collapses into one
+	// multi-config fan-out: the trace decodes once for all points, and
+	// for parameters that leave the L1 untouched (streams, depth,
+	// filter, czone, latency) the L1 front end simulates once with
+	// every point replaying only its own stream-side events
+	// (core.ReplayStoreMulti). Results are identical to per-point
+	// replays either way.
+	if s.Metric != "cpi" && s.Parallel <= 1 {
+		return runPointsFanOut(ctx, s, tr, cfgs, values)
+	}
+	workers := s.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	runCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	idx := make(chan int)
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pctx, cancel := context.WithCancel(runCtx)
+				values[i], errs[i] = measurePoint(pctx, tr, cfgs[i], s.Metric)
+				cancel()
+				if errs[i] != nil {
+					cancelAll()
+				}
+			}
+		}()
+	}
+	for i := range cfgs {
+		if runCtx.Err() != nil {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// runPointsFanOut measures every point in one multi-config replay on
+// the caller's goroutine. Only the hit-rate family routes here: the
+// cpi metric replays through the timing model, which is not a
+// core.System and cannot join a fan-out.
+func runPointsFanOut(ctx context.Context, s Spec, tr *trace.Store, cfgs []core.Config, values []float64) error {
+	systems := make([]*core.System, len(cfgs))
+	for i, cfg := range cfgs {
+		sys, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		systems[i] = sys
+	}
+	if err := core.ReplayStoreMultiMode(ctx, systems, tr, core.FanOutSequential); err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		sys.AddInstructions(tr.Instructions())
+		r := sys.Results()
+		switch s.Metric {
+		case "hit":
+			values[i] = r.StreamHitRate()
+		case "eb":
+			values[i] = r.ExtraBandwidth()
+		default:
+			values[i] = r.DataMissRate()
+		}
+	}
+	return nil
 }
 
 // buildWorkload resolves a benchmark name or a custom:<mix> spec.
@@ -199,17 +321,22 @@ func buildWorkload(name, sizeS string) (*workload.Workload, error) {
 	return workload.New(name, size)
 }
 
-// measure runs the workload through cfg and extracts the metric.
-func measure(ctx context.Context, w *workload.Workload, cfg core.Config, metric string, scale float64) (float64, error) {
+// measurePoint replays the recorded trace through cfg and extracts
+// the metric. The hit-rate family replays on the batched no-PC hot
+// path; cpi replays the full event order through the timing model, so
+// every metric is identical to a direct workload run against the
+// configured system.
+func measurePoint(ctx context.Context, tr *trace.Store, cfg core.Config, metric string) (float64, error) {
 	switch metric {
 	case "hit", "eb", "missrate":
 		sys, err := core.New(cfg)
 		if err != nil {
 			return 0, err
 		}
-		if err := w.RunContext(ctx, sys, scale); err != nil {
+		if err := core.ReplayStore(ctx, sys, tr); err != nil {
 			return 0, err
 		}
+		sys.AddInstructions(tr.Instructions())
 		r := sys.Results()
 		switch metric {
 		case "hit":
@@ -224,7 +351,7 @@ func measure(ctx context.Context, w *workload.Workload, cfg core.Config, metric 
 		if err != nil {
 			return 0, err
 		}
-		if err := w.RunContext(ctx, m, scale); err != nil {
+		if err := tr.ReplayContext(ctx, m); err != nil {
 			return 0, err
 		}
 		return m.Stats().CPI(), nil

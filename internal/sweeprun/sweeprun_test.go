@@ -1,0 +1,92 @@
+package sweeprun
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// baseSpec is a small sweep that touches the replay path for a real
+// benchmark at a fast scale.
+func baseSpec(metric string, parallel int) Spec {
+	return Spec{
+		Workload: "mgrid",
+		Param:    "streams",
+		Values:   []int{1, 2, 4, 8},
+		Metric:   metric,
+		Scale:    0.05,
+		Parallel: parallel,
+	}
+}
+
+// TestRunParallelMatchesSequential pins the scheduler's contract: for
+// every metric — including cpi, whose event-order fidelity depends on
+// the recorded instruction positions — a parallel sweep returns the
+// same table and series as a sequential one, in the same order.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, metric := range []string{"hit", "eb", "missrate", "cpi"} {
+		t.Run(metric, func(t *testing.T) {
+			seqTab, seqVals, err := Run(context.Background(), baseSpec(metric, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parTab, parVals, err := Run(context.Background(), baseSpec(metric, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seqVals, parVals) {
+				t.Errorf("series diverged: sequential %v, parallel %v", seqVals, parVals)
+			}
+			if !reflect.DeepEqual(seqTab, parTab) {
+				t.Errorf("tables diverged:\nsequential %+v\nparallel %+v", seqTab, parTab)
+			}
+		})
+	}
+}
+
+// TestRunCustomWorkloadParallel covers the custom:<mix> path, whose
+// trace comes from a seeded random generator: recording once and
+// replaying per point must still be deterministic across widths.
+func TestRunCustomWorkloadParallel(t *testing.T) {
+	spec := Spec{
+		Workload: "custom:0.5,0.3,0.2",
+		Param:    "depth",
+		Values:   []int{1, 2, 4},
+		Scale:    0.2,
+	}
+	_, seq, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Parallel = 3
+	_, par, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("custom workload series diverged: %v vs %v", seq, par)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallel := range []int{1, 4} {
+		if _, _, err := Run(ctx, baseSpec("hit", parallel)); err != context.Canceled {
+			t.Errorf("parallel=%d: Run on a cancelled ctx = %v, want context.Canceled", parallel, err)
+		}
+	}
+}
+
+func TestValidateParallel(t *testing.T) {
+	s := baseSpec("hit", -1)
+	if err := s.Validate(); err == nil {
+		t.Error("negative Parallel passed Validate")
+	}
+	for _, p := range []int{0, 1, 16} {
+		s := baseSpec("hit", p)
+		if err := s.Validate(); err != nil {
+			t.Errorf("Parallel=%d rejected: %v", p, err)
+		}
+	}
+}

@@ -158,6 +158,15 @@ func (m *Model) AddInstructions(n uint64) {
 	m.stats.Instructions += n
 }
 
+// AccessBatch runs a batch of references through Access in order,
+// completing the workload.BatchSink surface so batched producers
+// (trace replay, the workload generator) amortize interface dispatch.
+func (m *Model) AccessBatch(accs []mem.Access) {
+	for i := range accs {
+		m.Access(accs[i])
+	}
+}
+
 // Access runs one reference through the memory system and charges its
 // latency.
 func (m *Model) Access(a mem.Access) {

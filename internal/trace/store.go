@@ -1,35 +1,88 @@
 package trace
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"streamsim/internal/mem"
 )
 
 // Store is a compact in-memory reference trace. It holds the same
 // information as a []mem.Access but struct-of-arrays and
-// delta-encoded: one varint byte stream carries per-kind address
-// deltas (tagged with the kind in the low two bits, exactly like the
-// on-disk format), a second carries per-kind PC deltas, and the rare
-// access with a nonzero Size goes to a side list. Workload traces are
-// dominated by short constant strides, so a reference that costs 24
-// bytes as a mem.Access typically costs 2-4 bytes here — the
-// difference between a full-scale trace that thrashes the host's
-// caches during replay and one that streams through them.
+// delta-encoded: one byte stream carries address records, a second
+// carries per-kind PC deltas, and the rare access with a nonzero Size
+// goes to a side list. Workload traces are dominated by interleaved
+// constant-stride streams, so a reference that costs 24 bytes as a
+// mem.Access typically costs about one byte here — the difference
+// between a full-scale trace that thrashes the host's caches during
+// replay and one that streams through them.
+//
+// The address encoding borrows the paper's own insight: a workload is
+// a handful of concurrent reference streams. Each access kind owns
+// ringsPerKind stride-predicting rings (last address + recent deltas,
+// exactly a stream buffer's allocation state); a record names its ring
+// and carries the zig-zag delta from that ring's prediction. An access
+// that continues a tracked stream — the overwhelmingly common case —
+// has delta zero and encodes in a single byte regardless of the
+// stride's magnitude, where a single last-address-per-kind scheme
+// pays 3-5 bytes every time interleaved arrays alternate.
+//
+// Record layout (first byte, low to high): kind (2 bits), ring
+// (3 bits), low 2 bits of the zig-zag delta, continuation bit. If the
+// continuation bit is set, uvarint(zz>>2) follows.
 //
 // A Store is append-only and not safe for concurrent mutation;
 // concurrent readers over a quiescent Store are fine (experiments
 // replay one memoized trace from many goroutines).
 type Store struct {
-	addr   []byte // per access: uvarint(zigzag62(addr delta)<<2 | kind)
+	addr   []byte // address records, see the layout above
 	pc     []byte // per access: uvarint(zigzag64(pc delta)), per-kind last
 	sizes  []sizeException
+	insts  []instEvent
 	n      int
-	last   [3]uint64 // previous address per kind
+	nInsts uint64
+	rings  [ringSlots]ringState // encoder stream predictors, indexed ring<<2|kind
+	stamp  [ringSlots]uint64    // last tick each ring was written (LRU victim choice)
+	conf   [ringSlots]bool      // ring last carried a stream continuation
+	tick   uint64
 	lastPC [3]uint64 // previous PC per kind
 	err    error
 }
+
+// ringsPerKind is how many reference streams the encoder tracks per
+// access kind. Eight covers the stencil kernels' array interleave —
+// mgrid's smoothing sweep alone walks seven read lanes in lockstep,
+// and each lane needs its own ring for its stride to be predictable.
+// The 3-bit ring field in the record layout pins it.
+const ringsPerKind = 8
+
+// ringSlots sizes the flat ring arrays: slot index is ring<<2|kind,
+// matching the low five bits of a record's first byte, so the decoder
+// indexes with a single mask. Kind 3 is invalid, so a quarter of the
+// slots are dead — cheaper than re-packing the index on every access.
+const ringSlots = ringsPerKind * 4
+
+// ringState is one stream predictor. The ring's prediction for its
+// next address is last+d2 (mod 2^62): the delta from TWO records back,
+// not the most recent one. For a constant-stride stream the two are
+// equal, so nothing is lost — and a stream whose stride alternates
+// between two values (a stencil's paired taps, a loop body's
+// fetch-advance/jump-back) has period-2 deltas, which this predicts
+// exactly where a last-stride predictor is wrong on every record.
+type ringState struct {
+	last uint64
+	d1   uint64 // most recent delta
+	d2   uint64 // delta before that; the predicted next delta
+}
+
+// strideResetZZ classifies a record as a stream reallocation: at or
+// above this zig-zag delta (|delta| ≥ 32 KiB) the ring was not really
+// continuing a stream, so both its deltas reset to zero rather than
+// learning a garbage jump. Encoder and decoders must agree on this
+// constant — the predictor state is replicated on both sides.
+const strideResetZZ = 1 << 16
 
 // sizeException records an access whose Size field is nonzero; the
 // synthetic workloads never set one, so these stay off the dense
@@ -37,6 +90,17 @@ type Store struct {
 type sizeException struct {
 	idx  int
 	size uint8
+}
+
+// instEvent records a retired-instruction count at its exact position
+// in the reference stream: the count arrived after idx accesses had
+// been appended. Keeping the position (rather than only a total) lets
+// ReplayContext reproduce the recorded event order exactly, so a
+// timing model replayed from a Store charges cycles in the same order
+// a live workload run would.
+type instEvent struct {
+	idx int
+	n   uint64
 }
 
 // storeBytesPerRef sizes the address stream preallocation: measured
@@ -75,14 +139,62 @@ func (s *Store) Append(a mem.Access) {
 		s.err = fmt.Errorf("trace: address %#x exceeds the %d-bit format limit", uint64(a.Addr), addrBits)
 		return
 	}
-	// Address: delta in a 62-bit ring, sign-extended, zig-zagged, kind
-	// tag in the low two bits — the Writer encoding, kept in memory.
-	d := (uint64(a.Addr) - s.last[k]) & uint64(MaxAddr)
-	s.last[k] = uint64(a.Addr)
-	delta := int64(d<<2) >> 2
-	zz := uint64(delta<<1) ^ uint64(delta>>63)
-	zz &= uint64(MaxAddr)
-	s.addr = binary.AppendUvarint(s.addr, zz<<2|k)
+	// Address: pick the ring of this kind whose stride prediction
+	// yields the shortest record, breaking byte-length ties toward the
+	// least recently written ring. A reset-class access (no ring within
+	// strideResetZZ of it) is an allocation, not a continuation, and it
+	// may only steal an unconfirmed ring unless every ring is confirmed:
+	// without that guard one stray reference evicts a live stream, the
+	// displaced stream evicts another on its next access, and the whole
+	// ring set thrashes — measured at a third of mgrid's records
+	// resetting versus near zero with the guard.
+	addr := uint64(a.Addr)
+	bestIdx, bestZZ, bestCost := -1, uint64(0), 99
+	for r := 0; r < ringsPerKind; r++ {
+		idx := r<<2 | int(k)
+		st := &s.rings[idx]
+		d := (addr - st.last - st.d2) & uint64(MaxAddr)
+		delta := int64(d<<2) >> 2
+		zz := (uint64(delta<<1) ^ uint64(delta>>63)) & uint64(MaxAddr)
+		if zz < 4 {
+			// One-byte record — no other ring can beat it, so stop
+			// scanning. (An LRU tie-break among equal one-byte rings is
+			// forfeited; measured size impact is nil, and the scan is
+			// the encoder's hot loop.)
+			bestIdx, bestZZ = idx, zz
+			break
+		}
+		cost := 1
+		switch {
+		case zz >= strideResetZZ && s.conf[idx]:
+			cost = 95
+		case zz >= strideResetZZ:
+			cost = 90
+		default:
+			cost += (bits.Len64(zz>>2) + 6) / 7
+		}
+		if bestIdx < 0 || cost < bestCost || (cost == bestCost && s.stamp[idx] < s.stamp[bestIdx]) {
+			bestIdx, bestZZ, bestCost = idx, zz, cost
+		}
+	}
+	s.tick++
+	s.stamp[bestIdx] = s.tick
+	st := &s.rings[bestIdx]
+	if bestZZ >= strideResetZZ {
+		st.d1, st.d2 = 0, 0
+		s.conf[bestIdx] = false
+	} else {
+		st.d1, st.d2 = (addr-st.last)&uint64(MaxAddr), st.d1
+		s.conf[bestIdx] = true
+	}
+	st.last = addr
+	b0 := byte(bestIdx) | byte(bestZZ&3)<<5
+	if bestZZ < 4 {
+		s.addr = append(s.addr, b0)
+	} else {
+		s.addr = append(s.addr, b0|0x80)
+		s.addr = binary.AppendUvarint(s.addr, bestZZ>>2)
+	}
 	// PC: plain 64-bit zig-zag delta per kind (no tag to make room
 	// for). Loop bodies revisit the same sites, so deltas are tiny.
 	pd := int64(uint64(a.PC) - s.lastPC[k])
@@ -101,12 +213,38 @@ func (s *Store) AppendBatch(accs []mem.Access) {
 	}
 }
 
+// Access is Append under the name workload.Sink expects, so a Store
+// can record a workload run directly.
+func (s *Store) Access(a mem.Access) { s.Append(a) }
+
+// AccessBatch is AppendBatch under the name workload.BatchSink
+// expects.
+func (s *Store) AccessBatch(accs []mem.Access) { s.AppendBatch(accs) }
+
+// AddInstructions records n retired instructions at the current
+// position in the reference stream (completing the workload.Sink
+// surface). Consecutive counts with no access in between coalesce.
+func (s *Store) AddInstructions(n uint64) {
+	if n == 0 {
+		return
+	}
+	s.nInsts += n
+	if last := len(s.insts) - 1; last >= 0 && s.insts[last].idx == s.n {
+		s.insts[last].n += n
+		return
+	}
+	s.insts = append(s.insts, instEvent{idx: s.n, n: n})
+}
+
+// Instructions returns the total retired-instruction count recorded.
+func (s *Store) Instructions() uint64 { return s.nInsts }
+
 // Len returns the number of stored accesses.
 func (s *Store) Len() int { return s.n }
 
 // Bytes returns the resident encoded size, for logging and tests.
 func (s *Store) Bytes() int {
-	return len(s.addr) + len(s.pc) + len(s.sizes)*16
+	return len(s.addr) + len(s.pc) + (len(s.sizes)+len(s.insts))*16
 }
 
 // Err reports the first deferred append error.
@@ -125,7 +263,7 @@ type StoreIter struct {
 	pos     int // byte offset into s.addr
 	pcPos   int // byte offset into s.pc
 	excNext int // next pending entry of s.sizes
-	last    [3]uint64
+	rings   [ringSlots]ringState
 	lastPC  [3]uint64
 }
 
@@ -150,26 +288,38 @@ func (it *StoreIter) Next(buf []mem.Access) int {
 	// the call overhead of two Uvarint invocations per reference costs
 	// more than the rest of the decode combined, and nearly every
 	// record is a one- or two-byte varint the fast paths below catch.
+	// All mutable decode state lives in locals for the batch: the
+	// stream rings in particular would otherwise be reloaded every
+	// reference, because the compiler cannot prove the writes through
+	// buf do not alias the iterator.
 	addrs, pcs := it.s.addr, it.s.pc
 	pos, pcPos := it.pos, it.pcPos
+	rings, lastPC := it.rings, it.lastPC
+	nextExc := it.nextSizeIdx()
 	for j := 0; j < n; j++ {
-		v := uint64(addrs[pos])
+		b0 := addrs[pos]
 		pos++
-		if v >= 0x80 {
-			v &= 0x7f
-			for shift := 7; ; shift += 7 {
+		zz := uint64(b0) >> 5 & 3
+		if b0 >= 0x80 {
+			for shift := 2; ; shift += 7 {
 				b := addrs[pos]
 				pos++
-				v |= uint64(b&0x7f) << shift
+				zz |= uint64(b&0x7f) << shift
 				if b < 0x80 {
 					break
 				}
 			}
 		}
-		tag := v & 3
-		body := v >> 2
-		delta := int64(body>>1) ^ -int64(body&1)
-		it.last[tag] = (it.last[tag] + uint64(delta)) & uint64(MaxAddr)
+		st := &rings[b0&31]
+		delta := int64(zz>>1) ^ -int64(zz&1)
+		addr := (st.last + st.d2 + uint64(delta)) & uint64(MaxAddr)
+		if zz >= strideResetZZ {
+			st.d1, st.d2 = 0, 0
+		} else {
+			st.d1, st.d2 = (addr-st.last)&uint64(MaxAddr), st.d1
+		}
+		st.last = addr
+		tag := uint64(b0) & 3
 
 		pv := uint64(pcs[pcPos])
 		pcPos++
@@ -185,20 +335,219 @@ func (it *StoreIter) Next(buf []mem.Access) int {
 			}
 		}
 		pd := int64(pv>>1) ^ -int64(pv&1)
-		it.lastPC[tag] += uint64(pd)
+		lastPC[tag] += uint64(pd)
 
-		a := mem.Access{
-			Addr: mem.Addr(it.last[tag]),
-			PC:   mem.Addr(it.lastPC[tag]),
+		buf[j] = mem.Access{
+			Addr: mem.Addr(addr),
+			PC:   mem.Addr(lastPC[tag]),
 			Kind: mem.Kind(tag),
 		}
-		if it.excNext < len(it.s.sizes) && it.s.sizes[it.excNext].idx == it.i {
-			a.Size = it.s.sizes[it.excNext].size
+		if it.i+j == nextExc {
+			buf[j].Size = it.s.sizes[it.excNext].size
 			it.excNext++
+			nextExc = it.nextSizeIdx()
 		}
-		buf[j] = a
-		it.i++
 	}
 	it.pos, it.pcPos = pos, pcPos
+	it.rings, it.lastPC = rings, lastPC
+	it.i += n
 	return n
+}
+
+// nextSizeIdx returns the access index of the next pending size
+// exception, or -1 when none remain — hoisting the two-load bounds
+// test out of the decode loops.
+func (it *StoreIter) nextSizeIdx() int {
+	if it.excNext < len(it.s.sizes) {
+		return it.s.sizes[it.excNext].idx
+	}
+	return -1
+}
+
+// NextNoPC is Next without the program-counter stream: decoded
+// accesses carry Addr, Kind and Size but a zero PC, and the PC stream
+// is not consumed at all. The memory-system simulators never read the
+// PC (it exists for the PC-indexed prefetcher baselines), so this is
+// the replay decode path — it halves the varint work per reference.
+//
+// An iterator must stick to one of Next or NextNoPC for its lifetime:
+// NextNoPC leaves the PC cursor untouched, so a later Next on the same
+// iterator would decode PC deltas that belong to already-consumed
+// accesses.
+func (it *StoreIter) NextNoPC(buf []mem.Access) int {
+	n := it.s.n - it.i
+	if n <= 0 {
+		return 0
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	addrs := it.s.addr
+	pos := it.pos
+	rings := it.rings
+	nextExc := it.nextSizeIdx()
+	for j := 0; j < n; j++ {
+		b0 := addrs[pos]
+		pos++
+		zz := uint64(b0) >> 5 & 3
+		if b0 >= 0x80 {
+			for shift := 2; ; shift += 7 {
+				b := addrs[pos]
+				pos++
+				zz |= uint64(b&0x7f) << shift
+				if b < 0x80 {
+					break
+				}
+			}
+		}
+		st := &rings[b0&31]
+		delta := int64(zz>>1) ^ -int64(zz&1)
+		addr := (st.last + st.d2 + uint64(delta)) & uint64(MaxAddr)
+		if zz >= strideResetZZ {
+			st.d1, st.d2 = 0, 0
+		} else {
+			st.d1, st.d2 = (addr-st.last)&uint64(MaxAddr), st.d1
+		}
+		st.last = addr
+		buf[j] = mem.Access{Addr: mem.Addr(addr), Kind: mem.Kind(b0 & 3)}
+		if it.i+j == nextExc {
+			buf[j].Size = it.s.sizes[it.excNext].size
+			it.excNext++
+			nextExc = it.nextSizeIdx()
+		}
+	}
+	it.pos = pos
+	it.rings = rings
+	it.i += n
+	return n
+}
+
+// NextPacked decodes up to len(buf) references into packed words —
+// uint64(addr)<<2 | uint64(kind) — and returns how many it wrote; zero
+// means the trace is exhausted. This is the memory-system replay
+// decode: a core.System reads neither PC nor Size, so the decode can
+// skip the PC stream and the size-exception list entirely and avoid
+// materializing mem.Access values at all. The layout is lossless —
+// addresses carry at most 62 bits (MaxAddr) — and matches what
+// core.(*System).AccessPacked unpacks.
+//
+// Like NextNoPC, NextPacked leaves the PC cursor untouched: an
+// iterator must stick to one of Next, NextNoPC or NextPacked for its
+// lifetime.
+func (it *StoreIter) NextPacked(buf []uint64) int {
+	n := it.s.n - it.i
+	if n <= 0 {
+		return 0
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	addrs := it.s.addr
+	pos := it.pos
+	rings := &it.rings
+	for j := 0; j < n; j++ {
+		b0 := addrs[pos]
+		pos++
+		if b0 < 0x20 {
+			// Exact prediction (zz = 0, no continuation) — the majority
+			// of a workload trace. delta is zero, so the new most-recent
+			// delta equals the predicted d2: the update is just a swap.
+			st := &rings[b0&31]
+			addr := (st.last + st.d2) & uint64(MaxAddr)
+			st.d1, st.d2 = st.d2, st.d1
+			st.last = addr
+			buf[j] = addr<<2 | uint64(b0)&3
+			continue
+		}
+		if b0 < 0x80 {
+			// One-byte record, delta in ±1: no continuation bytes and
+			// zz < strideResetZZ by construction, so the reset check
+			// drops out too.
+			zz := uint64(b0) >> 5
+			st := &rings[b0&31]
+			delta := int64(zz>>1) ^ -int64(zz&1)
+			addr := (st.last + st.d2 + uint64(delta)) & uint64(MaxAddr)
+			st.d1, st.d2 = (addr-st.last)&uint64(MaxAddr), st.d1
+			st.last = addr
+			buf[j] = addr<<2 | uint64(b0)&3
+			continue
+		}
+		zz := uint64(b0) >> 5 & 3
+		for shift := 2; ; shift += 7 {
+			b := addrs[pos]
+			pos++
+			zz |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+		}
+		st := &rings[b0&31]
+		delta := int64(zz>>1) ^ -int64(zz&1)
+		addr := (st.last + st.d2 + uint64(delta)) & uint64(MaxAddr)
+		if zz >= strideResetZZ {
+			st.d1, st.d2 = 0, 0
+		} else {
+			st.d1, st.d2 = (addr-st.last)&uint64(MaxAddr), st.d1
+		}
+		st.last = addr
+		buf[j] = addr<<2 | uint64(b0)&3
+	}
+	it.pos = pos
+	it.i += n
+	return n
+}
+
+// ReplayContext streams the recorded events — accesses and positioned
+// instruction counts, in exactly the order they were recorded — into
+// sink, polling ctx once per ReplayBatchLen accesses. Batch sinks
+// receive accesses in AccessBatch chunks split at instruction-count
+// boundaries, so every sink observes the same event sequence a live
+// workload run would have produced; a timing model replayed this way
+// therefore charges cycles identically to one driven directly.
+// Accesses are decoded with full PC fidelity (a sink may be a
+// PC-indexed prefetcher). A cancelled replay returns ctx.Err() with
+// the sink having consumed a prefix of the trace.
+func (s *Store) ReplayContext(ctx context.Context, sink Sink) error {
+	done := ctx.Done()
+	bs, batching := sink.(BatchSink)
+	buf := make([]mem.Access, ReplayBatchLen)
+	it := s.Iter()
+	insts := s.insts
+	pos := 0 // accesses delivered so far
+	emit := func(chunk []mem.Access) {
+		if batching {
+			bs.AccessBatch(chunk)
+			return
+		}
+		for k := range chunk {
+			sink.Access(chunk[k])
+		}
+	}
+	for n := it.Next(buf); n > 0; n = it.Next(buf) {
+		off := 0
+		for off < n {
+			for len(insts) > 0 && insts[0].idx == pos {
+				sink.AddInstructions(insts[0].n)
+				insts = insts[1:]
+			}
+			end := n
+			if len(insts) > 0 && insts[0].idx < pos+(end-off) {
+				end = off + (insts[0].idx - pos)
+			}
+			emit(buf[off:end])
+			pos += end - off
+			off = end
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	// Counts recorded after the final access.
+	for len(insts) > 0 && insts[0].idx == pos {
+		sink.AddInstructions(insts[0].n)
+		insts = insts[1:]
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -147,5 +148,163 @@ func TestStoreEstimatePreallocHolds(t *testing.T) {
 	}
 	if cap(s.addr) != capBefore {
 		t.Errorf("address stream regrew from %d to %d on a strided trace", capBefore, cap(s.addr))
+	}
+}
+
+func TestStoreNextNoPCMatchesNext(t *testing.T) {
+	accs := randomAccesses(5000)
+	s := NewStore(len(accs))
+	s.AppendBatch(accs)
+	full, noPC := s.Iter(), s.Iter()
+	fb, nb := make([]mem.Access, 77), make([]mem.Access, 77)
+	i := 0
+	for {
+		nf, nn := full.Next(fb), noPC.NextNoPC(nb)
+		if nf != nn {
+			t.Fatalf("batch sizes diverged at access %d: %d vs %d", i, nf, nn)
+		}
+		if nf == 0 {
+			break
+		}
+		for j := 0; j < nf; j++ {
+			want := fb[j]
+			want.PC = 0
+			if nb[j] != want {
+				t.Fatalf("access %d: NextNoPC decoded %+v, want %+v", i, nb[j], want)
+			}
+			i++
+		}
+	}
+	if i != len(accs) {
+		t.Fatalf("decoded %d accesses, want %d", i, len(accs))
+	}
+}
+
+func TestStoreNextPackedMatchesNext(t *testing.T) {
+	accs := randomAccesses(5000)
+	s := NewStore(len(accs))
+	s.AppendBatch(accs)
+	full, packed := s.Iter(), s.Iter()
+	fb, pb := make([]mem.Access, 77), make([]uint64, 77)
+	i := 0
+	for {
+		nf, np := full.Next(fb), packed.NextPacked(pb)
+		if nf != np {
+			t.Fatalf("batch sizes diverged at access %d: %d vs %d", i, nf, np)
+		}
+		if nf == 0 {
+			break
+		}
+		for j := 0; j < nf; j++ {
+			want := uint64(fb[j].Addr)<<2 | uint64(fb[j].Kind)
+			if pb[j] != want {
+				t.Fatalf("access %d: NextPacked decoded %#x, want %#x (addr %#x kind %v)",
+					i, pb[j], want, fb[j].Addr, fb[j].Kind)
+			}
+			i++
+		}
+	}
+	if i != len(accs) {
+		t.Fatalf("decoded %d accesses, want %d", i, len(accs))
+	}
+}
+
+// storeEvent is one observation made by eventSink: an access or an
+// instruction count, in arrival order.
+type storeEvent struct {
+	acc   mem.Access
+	insts uint64
+}
+
+// eventSink records the exact event sequence it observes;
+// batchEventSink adds AccessBatch, exercising ReplayContext's chunked
+// delivery path.
+type eventSink struct {
+	events []storeEvent
+}
+
+func (e *eventSink) Access(a mem.Access)      { e.events = append(e.events, storeEvent{acc: a}) }
+func (e *eventSink) AddInstructions(n uint64) { e.events = append(e.events, storeEvent{insts: n}) }
+
+type batchEventSink struct{ eventSink }
+
+func (e *batchEventSink) AccessBatch(accs []mem.Access) {
+	for _, a := range accs {
+		e.Access(a)
+	}
+}
+
+func TestStoreReplayContextEventOrder(t *testing.T) {
+	// Build a store with instruction counts at awkward positions:
+	// before any access, mid-stream at non-batch-aligned points, twice
+	// in a row (coalesced), and after the final access.
+	accs := randomAccesses(3 * ReplayBatchLen)
+	s := NewStore(len(accs))
+	var want []storeEvent
+	addInsts := func(n uint64) {
+		s.AddInstructions(n)
+		if last := len(want) - 1; last >= 0 && want[last].insts > 0 {
+			want[last].insts += n // the store coalesces; so must the oracle
+			return
+		}
+		want = append(want, storeEvent{insts: n})
+	}
+	addInsts(3)
+	for i, a := range accs {
+		s.Append(a)
+		want = append(want, storeEvent{acc: a})
+		switch {
+		case i == 100:
+			addInsts(7)
+			addInsts(2)
+		case i%511 == 0:
+			addInsts(uint64(i + 1))
+		}
+	}
+	addInsts(9)
+	if got, wantTotal := s.Instructions(), uint64(0); true {
+		for _, ev := range want {
+			wantTotal += ev.insts
+		}
+		if got != wantTotal {
+			t.Fatalf("Instructions() = %d, want %d", got, wantTotal)
+		}
+	}
+	for _, batch := range []bool{false, true} {
+		var got *eventSink
+		var sink Sink
+		if batch {
+			bs := &batchEventSink{}
+			got, sink = &bs.eventSink, bs
+		} else {
+			got = &eventSink{}
+			sink = got
+		}
+		if err := s.ReplayContext(context.Background(), sink); err != nil {
+			t.Fatalf("batch=%v: ReplayContext: %v", batch, err)
+		}
+		if len(got.events) != len(want) {
+			t.Fatalf("batch=%v: replayed %d events, want %d", batch, len(got.events), len(want))
+		}
+		for i := range want {
+			if got.events[i] != want[i] {
+				t.Fatalf("batch=%v: event %d = %+v, want %+v", batch, i, got.events[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStoreReplayContextCancel(t *testing.T) {
+	accs := randomAccesses(8 * ReplayBatchLen)
+	s := NewStore(len(accs))
+	s.AppendBatch(accs)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := &batchEventSink{}
+	if err := s.ReplayContext(ctx, sink); err != context.Canceled {
+		t.Fatalf("ReplayContext on a cancelled ctx = %v, want context.Canceled", err)
+	}
+	if len(sink.events) > ReplayBatchLen {
+		t.Fatalf("cancelled replay delivered %d events, want <= one batch (%d)", len(sink.events), ReplayBatchLen)
 	}
 }
