@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update sweep-smoke paper quick examples serve service-smoke clean
+.PHONY: all build test lint lint-fixtures vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update sweep-smoke paper quick examples serve service-smoke clean
 
 all: build lint test
 
@@ -14,6 +14,14 @@ build:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/simlint ./...
+
+# lint-fixtures runs the analyzers' own test suites: the analysistest
+# fixtures under internal/analysis/*/testdata (flagged and allowed code
+# for every rule), the driver and call-graph unit tests, and the
+# static-vs-runtime hot-path set match at the repo root.
+lint-fixtures:
+	$(GO) test ./internal/analysis/... ./cmd/simlint
+	$(GO) test -run 'TestHotpathStaticMatchesAllocGates' .
 
 # vet is kept as an alias for muscle memory; prefer `make lint`.
 vet: lint

@@ -258,6 +258,8 @@ func BenchmarkAblationVictimDM(b *testing.B) {
 // --- microbenchmarks ---------------------------------------------------
 
 // BenchmarkCacheAccess measures the set-associative lookup hot path.
+//
+//simlint:hotpath (*streamsim/internal/cache.Cache).Read
 func BenchmarkCacheAccess(b *testing.B) {
 	c, err := cache.New(cache.Config{
 		Name: "L1D", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 64,
@@ -314,6 +316,8 @@ func BenchmarkCzoneObserve(b *testing.B) {
 
 // BenchmarkSystemThroughput measures full-system references per second
 // on a mixed (sweep + scatter) synthetic stream.
+//
+//simlint:hotpath (*streamsim/internal/core.System).Access
 func BenchmarkSystemThroughput(b *testing.B) {
 	sys, err := core.New(core.DefaultConfig())
 	if err != nil {
@@ -334,6 +338,8 @@ func BenchmarkSystemThroughput(b *testing.B) {
 // the batched entry point: the same reference stream delivered in
 // trace.ReplayBatchLen chunks via System.AccessBatch, the shape every
 // replay loop uses.
+//
+//simlint:hotpath (*streamsim/internal/core.System).AccessBatch
 func BenchmarkSystemThroughputBatch(b *testing.B) {
 	sys, err := core.New(core.DefaultConfig())
 	if err != nil {
@@ -409,6 +415,8 @@ func replayFixture(b *testing.B) (*trace.Store, []mem.Access) {
 // the PC-skipping fast path, since a System never reads PCs — and feed
 // System.AccessBatch. One op is one full-trace replay; refs/s is the
 // headline simulator throughput number cmd/benchrun tracks.
+//
+//simlint:hotpath streamsim/internal/core.ReplayStore
 func BenchmarkTraceReplay(b *testing.B) {
 	store, _ := replayFixture(b)
 	refs := store.Len()
@@ -431,6 +439,8 @@ func BenchmarkTraceReplay(b *testing.B) {
 // walked with one System.Access call per reference. Kept as the
 // comparison point for BenchmarkTraceReplay (it is also the memory
 // shape the compact store replaced: 24 bytes per reference).
+//
+//simlint:hotpath (*streamsim/internal/core.System).Access
 func BenchmarkTraceReplayScalar(b *testing.B) {
 	_, accs := replayFixture(b)
 	b.ResetTimer()
@@ -450,6 +460,8 @@ func BenchmarkTraceReplayScalar(b *testing.B) {
 // decode pass drives nSys systems (sequential mode, the shape the
 // experiments use — the win being measured is decode elimination, not
 // goroutines). refs/s is aggregate: trace length × nSys per op.
+//
+//simlint:hotpath streamsim/internal/core.ReplayStoreMultiMode
 func benchReplayMulti(b *testing.B, nSys int) {
 	store, _ := replayFixture(b)
 	refs := store.Len()
@@ -484,6 +496,8 @@ func BenchmarkReplayMulti8(b *testing.B) { benchReplayMulti(b, 8) }
 // simulator attached. The difference between this and TraceReplay is
 // the simulation cost; the difference between this and zero is what
 // the compact encoding charges per reference at replay time.
+//
+//simlint:hotpath (*streamsim/internal/trace.StoreIter).NextPacked
 func BenchmarkTraceDecode(b *testing.B) {
 	store, _ := replayFixture(b)
 	refs := store.Len()

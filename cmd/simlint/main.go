@@ -9,10 +9,17 @@
 //	maporder    no map-iteration order in simulation hot paths
 //	ledgerpost  bandwidth ledger and traffic hook in lockstep
 //	errdiscard  no dropped trace/config errors
+//	hotpath     //simlint:hotpath functions transitively allocation-free
+//	ctxflow     received contexts flow onward; no stray Background/TODO
+//	lockdisc    mutex discipline in the service and sweep layers
+//
+// The last three are call-graph-aware: they share one set of module
+// facts (internal/analysis/callgraph) built per run over every loaded
+// package.
 //
 // Usage:
 //
-//	simlint [-list] [-run name,name] [packages]
+//	simlint [-list] [-json] [-only name,name] [-skip name,name] [packages]
 //
 // Packages default to ./...; the exit status is 0 when clean, 1 when
 // findings were reported, 2 on usage or load errors. `make lint` and CI
@@ -20,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +35,11 @@ import (
 	"strings"
 
 	"streamsim/internal/analysis"
+	"streamsim/internal/analysis/ctxflow"
 	"streamsim/internal/analysis/errdiscard"
+	"streamsim/internal/analysis/hotpath"
 	"streamsim/internal/analysis/ledgerpost"
+	"streamsim/internal/analysis/lockdisc"
 	"streamsim/internal/analysis/maporder"
 	"streamsim/internal/analysis/pow2size"
 	"streamsim/internal/analysis/seededrand"
@@ -41,6 +52,9 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	ledgerpost.Analyzer,
 	errdiscard.Analyzer,
+	hotpath.Analyzer,
+	ctxflow.Analyzer,
+	lockdisc.Analyzer,
 }
 
 func main() {
@@ -52,7 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
-	only := fs.String("run", "", "comma-separated analyzer names to run (default all)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	runAlias := fs.String("run", "", "alias for -only (kept for compatibility)")
+	skip := fs.String("skip", "", "comma-separated analyzer names to skip")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file/line/analyzer/message)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,7 +79,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	suite, err := selectAnalyzers(*only)
+	if *only == "" {
+		*only = *runAlias
+	} else if *runAlias != "" {
+		fmt.Fprintln(stderr, "simlint: -run and -only are aliases; pass one")
+		return 2
+	}
+	suite, err := selectAnalyzers(*only, *skip)
 	if err != nil {
 		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
@@ -76,8 +99,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *jsonOut {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			pos := f.Pkg.Fset.Position(f.Diag.Pos)
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer.Name, f.Diag.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(findings))
@@ -86,48 +117,89 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// selectAnalyzers resolves the -run flag against the suite.
-func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
-	if only == "" {
-		return analyzers, nil
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as one JSON array. An empty run prints
+// [] rather than null so consumers can always range over the result.
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		pos := f.Pkg.Fset.Position(f.Diag.Pos)
+		out = append(out, jsonFinding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: f.Analyzer.Name,
+			Message:  f.Diag.Message,
+		})
 	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// selectAnalyzers resolves the -only/-skip flags against the suite.
+func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {
 	byName := map[string]*analysis.Analyzer{}
 	for _, a := range analyzers {
 		byName[a.Name] = a
 	}
-	var suite []*analysis.Analyzer
-	for _, name := range strings.Split(only, ",") {
-		a, ok := byName[strings.TrimSpace(name)]
-		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+	names := func(csv string) ([]string, error) {
+		if csv == "" {
+			return nil, nil
 		}
-		suite = append(suite, a)
+		var out []string
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			out = append(out, name)
+		}
+		return out, nil
+	}
+	onlyNames, err := names(only)
+	if err != nil {
+		return nil, err
+	}
+	skipNames, err := names(skip)
+	if err != nil {
+		return nil, err
+	}
+	skipped := map[string]bool{}
+	for _, n := range skipNames {
+		skipped[n] = true
+	}
+	var suite []*analysis.Analyzer
+	if onlyNames == nil {
+		for _, a := range analyzers {
+			if !skipped[a.Name] {
+				suite = append(suite, a)
+			}
+		}
+		return suite, nil
+	}
+	for _, n := range onlyNames {
+		if !skipped[n] {
+			suite = append(suite, byName[n])
+		}
 	}
 	return suite, nil
 }
 
 // Lint loads the packages matching patterns under dir and applies every
-// applicable analyzer, returning formatted findings.
-func Lint(dir string, suite []*analysis.Analyzer, patterns ...string) ([]string, error) {
+// applicable analyzer through the facts-sharing suite driver.
+func Lint(dir string, suite []*analysis.Analyzer, patterns ...string) ([]analysis.Finding, error) {
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var findings []string
-	for _, pkg := range pkgs {
-		for _, a := range suite {
-			if !a.AppliesTo(pkg.Path) {
-				continue
-			}
-			diags, err := analysis.RunAnalyzer(a, pkg)
-			if err != nil {
-				return nil, err
-			}
-			for _, d := range diags {
-				findings = append(findings, fmt.Sprintf("%s: [%s] %s",
-					pkg.Fset.Position(d.Pos), a.Name, d.Message))
-			}
-		}
-	}
-	return findings, nil
+	return analysis.RunSuite(pkgs, suite)
 }

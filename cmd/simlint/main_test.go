@@ -2,24 +2,50 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"streamsim/internal/analysis"
 )
 
 func TestSelectAnalyzers(t *testing.T) {
-	all, err := selectAnalyzers("")
+	all, err := selectAnalyzers("", "")
 	if err != nil || len(all) != len(analyzers) {
-		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v; want %d", len(all), err, len(analyzers))
+		t.Fatalf("selectAnalyzers(\"\", \"\") = %d analyzers, err %v; want %d", len(all), err, len(analyzers))
 	}
-	two, err := selectAnalyzers("seededrand, maporder")
+	two, err := selectAnalyzers("seededrand, maporder", "")
 	if err != nil {
 		t.Fatalf("selectAnalyzers: %v", err)
 	}
 	if len(two) != 2 || two[0].Name != "seededrand" || two[1].Name != "maporder" {
 		t.Fatalf("selectAnalyzers picked %v", two)
 	}
-	if _, err := selectAnalyzers("nosuch"); err == nil {
+	skipped, err := selectAnalyzers("", "hotpath, ctxflow")
+	if err != nil {
+		t.Fatalf("selectAnalyzers(skip): %v", err)
+	}
+	if len(skipped) != len(analyzers)-2 {
+		t.Fatalf("skip left %d analyzers, want %d", len(skipped), len(analyzers)-2)
+	}
+	for _, a := range skipped {
+		if a.Name == "hotpath" || a.Name == "ctxflow" {
+			t.Errorf("skipped analyzer %s still selected", a.Name)
+		}
+	}
+	both, err := selectAnalyzers("hotpath,lockdisc", "hotpath")
+	if err != nil {
+		t.Fatalf("selectAnalyzers(only+skip): %v", err)
+	}
+	if len(both) != 1 || both[0].Name != "lockdisc" {
+		t.Fatalf("only+skip picked %v", both)
+	}
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
 		t.Fatal("selectAnalyzers accepted an unknown analyzer")
+	}
+	if _, err := selectAnalyzers("", "nosuch"); err == nil {
+		t.Fatal("selectAnalyzers accepted an unknown skip")
 	}
 }
 
@@ -32,6 +58,35 @@ func TestListFlag(t *testing.T) {
 		if !strings.Contains(stdout.String(), a.Name) {
 			t.Errorf("-list output missing analyzer %s", a.Name)
 		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("sim.go", -1, 100)
+	finding := analysis.Finding{
+		Analyzer: analyzers[0],
+		Pkg:      &analysis.Package{Fset: fset},
+		Diag:     analysis.Diagnostic{Pos: f.Pos(10), Message: "boom"},
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, []analysis.Finding{finding}); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].File != "sim.go" || got[0].Line != 1 ||
+		got[0].Analyzer != analyzers[0].Name || got[0].Message != "boom" {
+		t.Fatalf("decoded %+v", got)
+	}
+	buf.Reset()
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", buf.String())
 	}
 }
 
@@ -49,6 +104,7 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("Lint: %v", err)
 	}
 	for _, f := range findings {
-		t.Errorf("unexpected finding: %s", f)
+		t.Errorf("unexpected finding: %s: [%s] %s",
+			f.Pkg.Fset.Position(f.Diag.Pos), f.Analyzer.Name, f.Diag.Message)
 	}
 }

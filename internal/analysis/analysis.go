@@ -39,6 +39,17 @@ type Analyzer struct {
 	PackagePrefixes []string
 	// Run executes the analyzer over one package.
 	Run func(*Pass) error
+	// Facts, if set, is invoked once per suite run over every loaded
+	// package and its result is handed to each Pass as ModuleFacts.
+	// This is how flow-aware analyzers see across package boundaries:
+	// the facts builder walks the whole module, the per-package Run
+	// only reports.
+	Facts func(pkgs []*Package) (any, error)
+	// FactsKey names the facts bundle. Analyzers sharing a key share
+	// one Facts invocation per RunSuite call (func values are not
+	// comparable, so memoization is by key). Required when Facts is
+	// set.
+	FactsKey string
 }
 
 // AppliesTo reports whether the driver should run the analyzer on the
@@ -72,6 +83,9 @@ type Pass struct {
 	// TypesInfo is Pkg's expression/identifier type information,
 	// hoisted for x/tools-style pass.TypesInfo access.
 	TypesInfo *types.Info
+	// ModuleFacts is the result of Analyzer.Facts over the whole
+	// loaded package set (nil when the analyzer declares no Facts).
+	ModuleFacts any
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -86,16 +100,34 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 }
 
 // RunAnalyzer executes a over pkg and returns its diagnostics with
-// //simlint:ignore suppressions applied, sorted by position.
+// //simlint:ignore suppressions applied, sorted by position. If the
+// analyzer declares Facts, they are computed over pkg alone; use
+// RunAnalyzerFacts (or RunSuite) to share facts built over a wider
+// package set.
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var facts any
+	if a.Facts != nil {
+		var err error
+		if facts, err = a.Facts([]*Package{pkg}); err != nil {
+			return nil, fmt.Errorf("%s: facts: %w", a.Name, err)
+		}
+	}
+	return RunAnalyzerFacts(a, pkg, facts)
+}
+
+// RunAnalyzerFacts is RunAnalyzer with the module facts supplied by the
+// caller, for drivers that compute them over more packages than the one
+// being analyzed.
+func RunAnalyzerFacts(a *Analyzer, pkg *Package, facts any) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		Analyzer:    a,
+		Fset:        pkg.Fset,
+		Files:       pkg.Files,
+		Pkg:         pkg,
+		TypesInfo:   pkg.TypesInfo,
+		ModuleFacts: facts,
+		Report:      func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -103,6 +135,55 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	diags = filterSuppressed(a.Name, pkg, diags)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// Finding is one diagnostic paired with the analyzer and package that
+// produced it, as returned by RunSuite.
+type Finding struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Diag     Diagnostic
+}
+
+// RunSuite runs every applicable analyzer over every package. Module
+// facts are computed once per FactsKey over the full package set, so
+// analyzers that share a facts layer (the call graph) compose without
+// rebuilding it. Findings come back grouped by package (in the loaded
+// order) and sorted by position within each analyzer's output.
+func RunSuite(pkgs []*Package, suite []*Analyzer) ([]Finding, error) {
+	factsByKey := map[string]any{}
+	for _, a := range suite {
+		if a.Facts == nil {
+			continue
+		}
+		if a.FactsKey == "" {
+			return nil, fmt.Errorf("%s: Facts set without FactsKey", a.Name)
+		}
+		if _, done := factsByKey[a.FactsKey]; done {
+			continue
+		}
+		facts, err := a.Facts(pkgs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: facts %q: %w", a.Name, a.FactsKey, err)
+		}
+		factsByKey[a.FactsKey] = facts
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := RunAnalyzerFacts(a, pkg, factsByKey[a.FactsKey])
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				out = append(out, Finding{Analyzer: a, Pkg: pkg, Diag: d})
+			}
+		}
+	}
+	return out, nil
 }
 
 // ignoreDirective matches "//simlint:ignore name1,name2" comments.

@@ -77,7 +77,35 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
 		Types:     lp.types,
 		TypesInfo: lp.info,
 	}
-	diags, err := analysis.RunAnalyzer(a, pkg)
+	// Module facts see every testdata package the target pulled in, so
+	// fixtures can exercise cross-package call chains. The target
+	// comes first; siblings follow in path order for determinism.
+	var facts any
+	if a.Facts != nil {
+		pkgs := []*analysis.Package{pkg}
+		var siblings []string
+		for path := range ld.pkgs {
+			if path != pkgpath {
+				siblings = append(siblings, path)
+			}
+		}
+		sort.Strings(siblings)
+		for _, path := range siblings {
+			sib := ld.pkgs[path]
+			pkgs = append(pkgs, &analysis.Package{
+				Path:      path,
+				Dir:       filepath.Join(ld.root, path),
+				Fset:      ld.fset,
+				Files:     sib.files,
+				Types:     sib.types,
+				TypesInfo: sib.info,
+			})
+		}
+		if facts, err = a.Facts(pkgs); err != nil {
+			t.Fatalf("%s: facts: %v", a.Name, err)
+		}
+	}
+	diags, err := analysis.RunAnalyzerFacts(a, pkg, facts)
 	if err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
 	}

@@ -1,0 +1,252 @@
+// Package ctxflow guards the cancellation chain threaded through the
+// simulator in the service work: once a function receives a
+// context.Context, that context (or a context derived from it) must be
+// what flows onward, and fresh roots must not be minted where a caller
+// could have supplied one.
+//
+// Four rules, each a way a refactor can silently sever cancellation:
+//
+//  1. A function with a ctx parameter must not call
+//     context.Background() or context.TODO() — it already has a
+//     context.
+//  2. Every context-typed argument such a function passes must derive
+//     from its ctx parameter (directly, or through context.With* /
+//     other calls fed the parameter).
+//  3. Such a function must not call a module function without a ctx
+//     parameter whose ctx-less call closure reaches a
+//     context.Background()/TODO() call — that is exactly the shape of
+//     "replaced RunContext with Run", and the diagnostic names the
+//     chain down to the minted root.
+//  4. A module function without any ctx parameter must not mint
+//     Background()/TODO() unless it is exported: an exported
+//     no-context function is a deliberate convenience wrapper that
+//     owns its root (workload.Run, trace.Replay, service.New); an
+//     unexported one should be threading its caller's context.
+//
+// Test files are never loaded, and package main is exempt — main is
+// where roots legitimately begin.
+package ctxflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"streamsim/internal/analysis"
+	"streamsim/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:            "ctxflow",
+	Doc:             "context.Context parameters must flow to every context-accepting callee; no fresh Background/TODO roots outside main and exported wrappers",
+	PackagePrefixes: []string{"streamsim/internal"},
+	Facts:           callgraph.Facts,
+	FactsKey:        callgraph.FactsKey,
+	Run:             run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.From(pass)
+	if g == nil {
+		return fmt.Errorf("ctxflow requires call-graph facts")
+	}
+	if pass.Pkg.Types.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn := g.Decls[fd]; fn != nil {
+				checkFunc(pass, g, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Func) {
+	hasCtx := len(fn.CtxParams) > 0
+	// Rules 1 and 4: minted roots.
+	for _, pos := range fn.Contexts {
+		if hasCtx {
+			pass.Reportf(pos, "%s receives a ctx parameter but mints a fresh context root; derive from ctx instead",
+				fn.Short())
+		} else if !fn.Exported {
+			pass.Reportf(pos, "unexported %s mints a fresh context root; thread a context.Context parameter from the caller instead",
+				fn.Short())
+		}
+	}
+	if !hasCtx {
+		return
+	}
+	derived := derivedVars(fn)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Rule 2: context-typed arguments must derive from ctx.
+		for _, arg := range call.Args {
+			tv, ok := fn.Pkg.TypesInfo.Types[arg]
+			if !ok || !isContext(tv.Type) {
+				continue
+			}
+			if isBackgroundCall(fn.Pkg.TypesInfo, arg) {
+				continue // already reported as a minted root
+			}
+			if !isDerived(fn.Pkg.TypesInfo, derived, arg) {
+				pass.Reportf(arg.Pos(), "%s passes a context that does not derive from its ctx parameter",
+					fn.Short())
+			}
+		}
+		// Rule 3: a ctx-less callee that transitively mints a root.
+		callee := callgraph.StaticCallee(fn.Pkg.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		node := g.Funcs[callee.FullName()]
+		if node == nil || len(node.CtxParams) > 0 {
+			return true
+		}
+		if chain, pos := rootChain(node); chain != nil {
+			p := pass.Fset.Position(pos)
+			path := fn.Short()
+			for _, f := range chain {
+				path += " → " + f.Short()
+			}
+			pass.Reportf(call.Pos(), "%s drops ctx: %s → context.Background/TODO (%s:%d); call a Context-accepting variant",
+				fn.Short(), path, filepath.Base(p.Filename), p.Line)
+		}
+		return true
+	})
+}
+
+// rootChain reports whether fn's ctx-less call closure reaches a
+// context.Background()/TODO() call, returning the chain of functions
+// walked (starting at fn) and the minted root's position.
+func rootChain(fn *callgraph.Func) ([]*callgraph.Func, token.Pos) {
+	type step struct {
+		fn   *callgraph.Func
+		from *step
+	}
+	seen := map[*callgraph.Func]bool{fn: true}
+	queue := []*step{{fn: fn}}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		if len(st.fn.Contexts) > 0 {
+			var chain []*callgraph.Func
+			for at := st; at != nil; at = at.from {
+				chain = append([]*callgraph.Func{at.fn}, chain...)
+			}
+			return chain, st.fn.Contexts[0]
+		}
+		for _, call := range st.fn.Calls {
+			callee := call.Callee
+			// The closure stays ctx-less: once a callee accepts a
+			// context its own callers are responsible for it.
+			if seen[callee] || len(callee.CtxParams) > 0 {
+				continue
+			}
+			seen[callee] = true
+			queue = append(queue, &step{fn: callee, from: st})
+		}
+	}
+	return nil, token.NoPos
+}
+
+// derivedVars computes the set of variables holding contexts derived
+// from fn's ctx parameters: the parameters themselves, plus any
+// variable assigned from an expression already known to be derived.
+// Two passes reach a fixpoint for the chains that occur in practice
+// (runCtx := context.WithCancel(ctx); pctx := WithCancel(runCtx)).
+func derivedVars(fn *callgraph.Func) map[types.Object]bool {
+	info := fn.Pkg.TypesInfo
+	derived := map[types.Object]bool{}
+	for _, p := range fn.CtxParams {
+		derived[p] = true
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			fromDerived := false
+			for _, rhs := range as.Rhs {
+				if isDerived(info, derived, rhs) {
+					fromDerived = true
+				}
+			}
+			if !fromDerived {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && isContext(obj.Type()) {
+					derived[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// isDerived reports whether e evaluates to a context derived from the
+// set: the variables themselves, or any call fed a derived context
+// (context.WithCancel(ctx), ctx.Value(...), helper(ctx)).
+func isDerived(info *types.Info, derived map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return derived[info.Uses[e]]
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			if isDerived(info, derived, arg) {
+				return true
+			}
+		}
+		// A method on a derived context (ctx.Value, etc.).
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return isDerived(info, derived, sel.X)
+		}
+	}
+	return false
+}
+
+// isBackgroundCall reports whether e is a direct
+// context.Background()/TODO() call.
+func isBackgroundCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := callgraph.StaticCallee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "ctxf")
+}

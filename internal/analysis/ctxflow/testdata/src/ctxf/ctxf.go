@@ -1,0 +1,77 @@
+// Package ctxf exercises the ctxflow analyzer: a context received
+// must be the context that flows onward, and fresh roots belong to
+// main and exported convenience wrappers only.
+package ctxf
+
+import "context"
+
+func helperCtx(ctx context.Context) error { return ctx.Err() }
+
+// RunAll is allowed: an exported no-context function is a deliberate
+// convenience wrapper that owns its root.
+func RunAll() error { return helperCtx(context.Background()) }
+
+// Sever drops the ctx it received: RunAll mints a fresh root one call
+// away, which is exactly the "replaced the Context variant" refactor
+// hazard. The diagnostic names the chain.
+func Sever(ctx context.Context) error {
+	return RunAll() // want `ctxf\.Sever drops ctx: ctxf\.Sever → ctxf\.RunAll → context\.Background/TODO \(ctxf\.go:\d+\); call a Context-accepting variant`
+}
+
+func wrapper() error { return RunAll() }
+
+// SeverDeep reaches the minted root through two ctx-less hops.
+func SeverDeep(ctx context.Context) error {
+	return wrapper() // want `ctxf\.SeverDeep drops ctx: ctxf\.SeverDeep → ctxf\.wrapper → ctxf\.RunAll → context\.Background/TODO \(ctxf\.go:\d+\); call a Context-accepting variant`
+}
+
+// Mints already has a context and must not create another.
+func Mints(ctx context.Context) error {
+	return helperCtx(context.Background()) // want `ctxf\.Mints receives a ctx parameter but mints a fresh context root`
+}
+
+// MintsTODO is the TODO() flavour of the same mistake.
+func MintsTODO(ctx context.Context) error {
+	return helperCtx(context.TODO()) // want `ctxf\.MintsTODO receives a ctx parameter but mints a fresh context root`
+}
+
+// freshRoot is unexported, so it should be threading its caller's
+// context instead of minting one.
+func freshRoot() error {
+	return helperCtx(context.Background()) // want `unexported ctxf\.freshRoot mints a fresh context root`
+}
+
+var global = context.TODO()
+
+// Stashes passes a context unrelated to the one it received.
+func Stashes(ctx context.Context) error {
+	return helperCtx(global) // want `ctxf\.Stashes passes a context that does not derive from its ctx parameter`
+}
+
+// Derives is allowed: both hops of the derivation chain trace back to
+// the ctx parameter.
+func Derives(ctx context.Context) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c2, cancel2 := context.WithCancel(c)
+	defer cancel2()
+	return helperCtx(c2)
+}
+
+// Spawns is allowed: the goroutine closes over the received ctx.
+func Spawns(ctx context.Context) {
+	go func() {
+		_ = helperCtx(ctx)
+	}()
+}
+
+func pure(n int) int { return n + 1 }
+
+// UsesPure is allowed: a ctx-less callee that never reaches a minted
+// root is just a computation.
+func UsesPure(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return pure(n)
+}

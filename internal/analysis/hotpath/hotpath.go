@@ -1,0 +1,133 @@
+// Package hotpath enforces the zero-allocation replay invariant at
+// compile time: a function whose doc comment carries
+// //simlint:hotpath must be transitively free of allocating
+// constructs. The runtime AllocsPerRun tests catch a regression after
+// the fact; this analyzer names the construct and the call chain that
+// reaches it before the benchmark ever runs.
+//
+// The transitive closure follows static call edges from the shared
+// call-graph facts and stops at:
+//
+//   - other //simlint:hotpath functions — they are verified as their
+//     own roots, so by induction a hot function may call one freely;
+//   - //simlint:coldpath functions — the deliberate escape hatch for
+//     outlined slow paths (tap recording, error paths) that the
+//     surrounding guard keeps off the steady-state path;
+//   - dynamic calls (interface methods, func values) — dispatch does
+//     not allocate, and nil-guarded hook fields are a deliberate seam.
+//
+// See the callgraph package for what counts as an allocating
+// construct (panic arguments, for one, are exempt: the unwind is
+// terminal).
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+
+	"streamsim/internal/analysis"
+	"streamsim/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:            "hotpath",
+	Doc:             "//simlint:hotpath functions must be transitively allocation-free",
+	PackagePrefixes: []string{"streamsim/internal"},
+	Facts:           callgraph.Facts,
+	FactsKey:        callgraph.FactsKey,
+	Run:             run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.From(pass)
+	if g == nil {
+		return fmt.Errorf("hotpath requires call-graph facts")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn := g.Decls[fd]; fn != nil && fn.Hotpath {
+				checkRoot(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// step records how the BFS first reached a function, so a finding can
+// be reported with its full call chain.
+type step struct {
+	from *callgraph.Func
+	pos  token.Pos // call site in `from`
+}
+
+// checkRoot walks everything statically reachable from root and
+// reports each allocating construct with the chain root → … → callee.
+func checkRoot(pass *analysis.Pass, root *callgraph.Func) {
+	parent := map[*callgraph.Func]step{}
+	queue := []*callgraph.Func{root}
+	seen := map[*callgraph.Func]bool{root: true}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, a := range fn.Allocs {
+			report(pass, root, parent, fn, a)
+		}
+		for _, call := range fn.Calls {
+			callee := call.Callee
+			if seen[callee] || callee.Hotpath || callee.Coldpath {
+				continue
+			}
+			seen[callee] = true
+			parent[callee] = step{from: fn, pos: call.Pos}
+			queue = append(queue, callee)
+		}
+	}
+}
+
+// report emits one diagnostic for an allocating construct in fn,
+// reached from root. The diagnostic anchors at the deepest position
+// along the chain that still lies in the package being analyzed —
+// the construct itself when it is local, otherwise the call site
+// where the chain leaves the package.
+func report(pass *analysis.Pass, root *callgraph.Func, parent map[*callgraph.Func]step, fn *callgraph.Func, a callgraph.Alloc) {
+	// Reconstruct root → … → fn.
+	var chain []*callgraph.Func
+	var sites []token.Pos // sites[i] is the call site in chain[i] invoking chain[i+1]
+	for at := fn; at != root; {
+		st := parent[at]
+		chain = append([]*callgraph.Func{at}, chain...)
+		sites = append([]token.Pos{st.pos}, sites...)
+		at = st.from
+	}
+	chain = append([]*callgraph.Func{root}, chain...)
+
+	anchor := a.Pos
+	if fn.Pkg != pass.Pkg {
+		anchor = sites[len(sites)-1]
+		for i := len(chain) - 2; i >= 0; i-- {
+			if chain[i].Pkg == pass.Pkg {
+				anchor = sites[i]
+				break
+			}
+		}
+	}
+	p := pass.Fset.Position(a.Pos)
+	where := fmt.Sprintf("%s (%s:%d)", a.What, filepath.Base(p.Filename), p.Line)
+	if len(chain) == 1 {
+		pass.Reportf(anchor, "%s is //simlint:hotpath but contains an allocating construct: %s",
+			root.Short(), where)
+		return
+	}
+	path := root.Short()
+	for _, f := range chain[1:] {
+		path += " → " + f.Short()
+	}
+	pass.Reportf(anchor, "%s is //simlint:hotpath but reaches an allocating construct via %s: %s",
+		root.Short(), path, where)
+}

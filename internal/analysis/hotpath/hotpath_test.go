@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "hot")
+}

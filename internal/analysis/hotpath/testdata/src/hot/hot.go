@@ -1,0 +1,147 @@
+// Package hot exercises the hotpath analyzer: functions marked
+// //simlint:hotpath must be transitively free of allocating
+// constructs, with findings reported against the full call chain.
+package hot
+
+import "fmt"
+
+var events []uint64
+
+// Probe is the annotated root of a three-deep allocating call chain:
+// Probe → fill → record, with the allocation down in record.
+//
+//simlint:hotpath
+func Probe(tags []uint64, addr uint64) bool {
+	for _, t := range tags {
+		if t == addr {
+			return true
+		}
+	}
+	fill(addr)
+	return false
+}
+
+func fill(addr uint64) { record(addr) }
+
+func record(addr uint64) {
+	events = append(events, addr) // want `hot\.Probe is //simlint:hotpath but reaches an allocating construct via hot\.Probe → hot\.fill → hot\.record: append may grow its backing array \(hot\.go:\d+\)`
+}
+
+//simlint:hotpath
+func MakesSlice(n int) []int {
+	return make([]int, n) // want `hot\.MakesSlice is //simlint:hotpath but contains an allocating construct: make \(hot\.go:\d+\)`
+}
+
+//simlint:hotpath
+func News() *int {
+	return new(int) // want `hot\.News is //simlint:hotpath but contains an allocating construct: new \(hot\.go:\d+\)`
+}
+
+type table struct{ rows []uint64 }
+
+//simlint:hotpath
+func (t *table) Grow(v uint64) {
+	t.rows = append(t.rows, v) // want `\(\*hot\.table\)\.Grow is //simlint:hotpath but contains an allocating construct: append may grow its backing array \(hot\.go:\d+\)`
+}
+
+//simlint:hotpath
+func Formats(x int) string {
+	return fmt.Sprintf("%d", x) // want `call to fmt\.Sprintf` `interface conversion boxes int`
+}
+
+func box(v any) any { return v }
+
+//simlint:hotpath
+func Boxes(x uint64) {
+	box(x) // want `hot\.Boxes is //simlint:hotpath but contains an allocating construct: interface conversion boxes uint64 \(hot\.go:\d+\)`
+}
+
+//simlint:hotpath
+func Closes(x int) func() int {
+	f := func() int { return x } // want `closure creation`
+	return f
+}
+
+//simlint:hotpath
+func Converts(b []byte) string {
+	return string(b) // want `string conversion copies`
+}
+
+type node struct{ next *node }
+
+//simlint:hotpath
+func Escapes() *node {
+	return &node{} // want `composite literal escapes via &`
+}
+
+//simlint:hotpath
+func Literals() int {
+	m := map[int]int{1: 1} // want `map literal`
+	s := []int{1, 2, 3}    // want `slice literal`
+	return m[1] + s[0]
+}
+
+type result struct{ hits, misses uint64 }
+
+// ValueLiteral is allowed: a plain value composite literal stays on
+// the stack.
+//
+//simlint:hotpath
+func ValueLiteral(h, m uint64) result {
+	return result{hits: h, misses: m}
+}
+
+// tapEvent is the deliberate outlined slow path; hot callers may call
+// it freely and its own body is not scanned.
+//
+//simlint:coldpath
+func tapEvent(ev uint64) {
+	events = append(events, ev)
+}
+
+//simlint:hotpath
+func CallsCold(tap bool, ev uint64) {
+	if tap {
+		tapEvent(ev)
+	}
+}
+
+// Panics is allowed: panic arguments only escape on the terminal
+// unwind, never on the steady-state path.
+//
+//simlint:hotpath
+func Panics(err error) {
+	if err != nil {
+		panic(fmt.Errorf("fatal: %w", err))
+	}
+}
+
+var hook func(uint64)
+
+// Hooks is allowed: a nil-guarded func-value hook is dynamic dispatch,
+// and dispatch does not allocate.
+//
+//simlint:hotpath
+func Hooks(ev uint64) {
+	if hook != nil {
+		hook(ev)
+	}
+}
+
+type sink interface{ Accept(uint64) }
+
+// Dynamic is allowed: interface method dispatch has no static edge.
+//
+//simlint:hotpath
+func Dynamic(s sink, ev uint64) {
+	s.Accept(ev)
+}
+
+// Composed is allowed to call Probe even though Probe fails its own
+// check: an annotated callee is verified as its own root, so the
+// caller trusts it by induction.
+//
+//simlint:hotpath
+func Composed(tags []uint64, addr uint64) bool {
+	return Probe(tags, addr)
+}

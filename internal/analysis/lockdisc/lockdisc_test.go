@@ -1,0 +1,11 @@
+package lockdisc
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+)
+
+func TestLockdisc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "lock")
+}

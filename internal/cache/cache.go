@@ -332,6 +332,8 @@ const (
 // with exactly one of HitAt / MissAt / NoteUnsampled to keep the
 // statistics and replacement state coherent; Read and Write wrap the
 // pairing for callers that want one-shot semantics.
+//
+//simlint:hotpath
 func (c *Cache) Probe(addr uint64) (way uint64, st ProbeStatus) {
 	// Written flat (no index/sampled/base helpers) to stay under the
 	// inlining budget.
@@ -398,6 +400,8 @@ func (p *Prober) DeferHits() bool { return p.deferHits }
 // reading the snapshot's geometry. The tag scan ranges over a
 // sub-slice so the compiler drops the per-way bounds checks, which
 // keeps the method within the inlining budget at every call site.
+//
+//simlint:hotpath
 func (p *Prober) Probe(addr uint64) (way uint64, st ProbeStatus) {
 	blk := addr >> p.blockShift
 	set := blk & p.setMask
@@ -417,6 +421,8 @@ func (p *Prober) Probe(addr uint64) (way uint64, st ProbeStatus) {
 // AddHits credits n deferred read hits in one update. Only valid when
 // the cache's Prober reports DeferHits — each credited hit must have
 // been a Probe that returned ProbeHit with no other bookkeeping due.
+//
+//simlint:hotpath
 func (c *Cache) AddHits(n uint64) { c.stats.Hits += n }
 
 // SetStats overwrites the statistics wholesale. It exists for the
@@ -430,6 +436,8 @@ func (c *Cache) SetStats(s Stats) { c.stats = s }
 // HitAt does the bookkeeping of a tag match at the way Probe returned:
 // hit count, replacement clock and LRU stamp, write-policy effects.
 // Inlinable, so the hit path stays call-free end to end.
+//
+//simlint:hotpath
 func (c *Cache) HitAt(way uint64, write bool) {
 	c.stats.Hits++
 	if c.stamped {
@@ -450,6 +458,8 @@ func (c *Cache) HitAt(way uint64, write bool) {
 }
 
 // NoteUnsampled counts a reference skipped by set sampling.
+//
+//simlint:hotpath
 func (c *Cache) NoteUnsampled() { c.stats.Unsampled++ }
 
 // Read presents a load at addr.
@@ -476,6 +486,8 @@ func (c *Cache) access(addr uint64, write bool) Result {
 
 // MissAt handles fill, eviction and write-policy accounting for a
 // sampled reference Probe classified as a miss.
+//
+//simlint:hotpath
 func (c *Cache) MissAt(addr uint64, write bool) Result {
 	set, tag := c.index(addr)
 	base := c.base(set)

@@ -32,6 +32,7 @@ func warmedSystem(t *testing.T) *System {
 	return sys
 }
 
+//simlint:hotpath (*streamsim/internal/core.System).Access
 func TestAccessDoesNotAllocate(t *testing.T) {
 	sys := warmedSystem(t)
 	i := 0
@@ -47,6 +48,7 @@ func TestAccessDoesNotAllocate(t *testing.T) {
 	}
 }
 
+//simlint:hotpath (*streamsim/internal/core.System).AccessOutcome
 func TestAccessOutcomeDoesNotAllocate(t *testing.T) {
 	sys := warmedSystem(t)
 	i := 0
@@ -59,6 +61,7 @@ func TestAccessOutcomeDoesNotAllocate(t *testing.T) {
 	}
 }
 
+//simlint:hotpath (*streamsim/internal/core.System).AccessBatch
 func TestAccessBatchDoesNotAllocate(t *testing.T) {
 	sys := warmedSystem(t)
 	batch := make([]mem.Access, 256)

@@ -329,6 +329,8 @@ type Outcome struct {
 // delegated: the stream workloads hit L1 on the vast majority of
 // references, and finishing a hit without a second call frame is
 // worth the small duplication with AccessBatch.
+//
+//simlint:hotpath
 func (s *System) Access(a mem.Access) {
 	c, write, ifetch := s.l1d, a.Kind == mem.Write, false
 	if a.Kind == IFetchKind {
@@ -345,6 +347,8 @@ func (s *System) Access(a mem.Access) {
 // AccessBatch presents a slice of references in order. It is the replay
 // fast path: one call replaces len(accs) interface dispatches. The
 // statistics produced are byte-identical to calling Access in a loop.
+//
+//simlint:hotpath
 func (s *System) AccessBatch(accs []mem.Access) {
 	for i := range accs {
 		a := &accs[i]
@@ -368,6 +372,8 @@ func (s *System) AccessBatch(accs []mem.Access) {
 // byte-identical to AccessBatch over the equivalent mem.Access slice,
 // but each reference is a single word unpacked straight into the
 // probe, with no struct materialization between decode and simulation.
+//
+//simlint:hotpath
 func (s *System) AccessPacked(words []uint64) {
 	// Stack-resident probe snapshots: the compiler can prove the
 	// bookkeeping calls below never write through them, so the cache
@@ -426,6 +432,8 @@ func (s *System) AccessPacked(words []uint64) {
 // accounted incrementally inside missVia (each step records what it
 // did as it happens), so the cost is O(1) per access regardless of the
 // number of streams — and zero when no stream set is configured.
+//
+//simlint:hotpath
 func (s *System) AccessOutcome(a mem.Access) Outcome {
 	// Clear the event fields here rather than in missVia: plain
 	// Access calls never read them, so the common replay path skips
@@ -446,6 +454,8 @@ const IFetchKind = mem.IFetch
 // AccessOutcome needs no before/after stats diffing. The event fields
 // of s.out are only valid when the caller (AccessOutcome) cleared
 // them first; Level is written on every path.
+//
+//simlint:hotpath
 func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st cache.ProbeStatus) {
 	if st == cache.ProbeUnsampled {
 		c.NoteUnsampled()
@@ -469,7 +479,7 @@ func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st c
 			s.noteTraffic(mem.Addr(wbBlock))
 			s.invalidateStreams(mem.Addr(wbBlock))
 			if s.tap != nil {
-				s.tap = append(s.tap, wbBlock<<2|tapWriteBack)
+				s.tapEvent(wbBlock<<2 | tapWriteBack)
 			}
 		}
 	case res.WroteBack:
@@ -479,7 +489,7 @@ func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st c
 		s.noteTraffic(mem.Addr(res.VictimBlock))
 		s.invalidateStreams(mem.Addr(res.VictimBlock))
 		if s.tap != nil {
-			s.tap = append(s.tap, res.VictimBlock<<2|tapWriteBack)
+			s.tapEvent(res.VictimBlock<<2 | tapWriteBack)
 		}
 	}
 	if !res.Filled {
@@ -507,7 +517,7 @@ func (s *System) missVia(c *cache.Cache, addr mem.Addr, write, ifetch bool, st c
 		if ifetch {
 			ev |= tapIFetch
 		}
-		s.tap = append(s.tap, ev)
+		s.tapEvent(ev)
 	}
 	set := s.streams
 	if ifetch && s.streamsI != nil {
@@ -552,6 +562,18 @@ func (s *System) invalidateStreams(blk mem.Addr) {
 	}
 }
 
+// tapEvent records one backend event for a multi-config fan-out
+// leader. Outlined from missVia so the //simlint:hotpath closure stays
+// free of allocating constructs: the append runs only when a fan-out
+// replay armed the tap (s.tap != nil), never on the single-system
+// steady state, and the leader preallocates the buffer to the batch
+// length so growth is the rare case even then.
+//
+//simlint:coldpath
+func (s *System) tapEvent(ev uint64) {
+	s.tap = append(s.tap, ev)
+}
+
 // applyTap replays a leader system's tapped backend events (see
 // System.tap) through this system's stream-side state: write-backs
 // invalidate streams and fill misses run the victim-less routing tail
@@ -560,6 +582,8 @@ func (s *System) invalidateStreams(blk mem.Addr) {
 // every L1 decision the leader made holds here verbatim; the L1
 // statistics themselves are copied once at the end of the replay
 // (adoptFrontStats) instead of being re-simulated.
+//
+//simlint:hotpath
 func (s *System) applyTap(events []uint64) {
 	for _, ev := range events {
 		if ev&tapWriteBack != 0 {

@@ -434,6 +434,8 @@ func (it *StoreIter) NextNoPC(buf []mem.Access) int {
 // Like NextNoPC, NextPacked leaves the PC cursor untouched: an
 // iterator must stick to one of Next, NextNoPC or NextPacked for its
 // lifetime.
+//
+//simlint:hotpath
 func (it *StoreIter) NextPacked(buf []uint64) int {
 	n := it.s.n - it.i
 	if n <= 0 {
