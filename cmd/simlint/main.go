@@ -6,24 +6,36 @@
 //
 //	seededrand  deterministic, config-seeded randomness
 //	pow2size    power-of-two block/cache/czone geometry
-//	maporder    no map-iteration order in simulation hot paths
+//	maporder    no map-iteration order in simulation hot paths (warn;
+//	            subsumed by detflow's flow-aware rule)
 //	ledgerpost  bandwidth ledger and traffic hook in lockstep
 //	errdiscard  no dropped trace/config errors
 //	hotpath     //simlint:hotpath functions transitively allocation-free
 //	ctxflow     received contexts flow onward; no stray Background/TODO
 //	lockdisc    mutex discipline in the service and sweep layers
+//	borrowck    //simlint:borrowed parameters not retained past the call
+//	detflow     //simlint:deterministic roots transitively deterministic
+//	directives  every //simlint:* comment parses, resolves and attaches
 //
-// The last three are call-graph-aware: they share one set of module
-// facts (internal/analysis/callgraph) built per run over every loaded
-// package.
+// The call-graph-aware passes (hotpath, ctxflow, lockdisc, borrowck,
+// detflow) share one set of module facts (internal/analysis/callgraph)
+// built per run over every loaded package.
 //
 // Usage:
 //
-//	simlint [-list] [-json] [-only name,name] [-skip name,name] [packages]
+//	simlint [-list] [-json] [-only name,name] [-skip name,name]
+//	        [-baseline file] [-write-baseline file] [packages]
 //
-// Packages default to ./...; the exit status is 0 when clean, 1 when
-// findings were reported, 2 on usage or load errors. `make lint` and CI
-// run it over the whole repository.
+// Packages default to ./...; findings are sorted by file/line/column/
+// analyzer and exactly-duplicate findings are dropped, so -json output
+// is diff-stable. A baseline file (see -write-baseline and `make
+// lint-baseline`) waives its recorded findings by (file, analyzer,
+// message), letting a new analyzer land strict without blocking on
+// pre-existing findings; entries carry no line numbers, so unrelated
+// edits do not invalidate them. The exit status is 0 when clean (or
+// when only warn-severity findings remain), 1 when error-severity
+// findings were reported, 2 on usage or load errors. `make lint` and
+// CI run it over the whole repository with the committed baseline.
 package main
 
 import (
@@ -32,10 +44,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"streamsim/internal/analysis"
+	"streamsim/internal/analysis/borrowck"
 	"streamsim/internal/analysis/ctxflow"
+	"streamsim/internal/analysis/detflow"
+	"streamsim/internal/analysis/directives"
 	"streamsim/internal/analysis/errdiscard"
 	"streamsim/internal/analysis/hotpath"
 	"streamsim/internal/analysis/ledgerpost"
@@ -55,6 +72,9 @@ var analyzers = []*analysis.Analyzer{
 	hotpath.Analyzer,
 	ctxflow.Analyzer,
 	lockdisc.Analyzer,
+	borrowck.Analyzer,
+	detflow.Analyzer,
+	directives.Analyzer,
 }
 
 func main() {
@@ -69,7 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
 	runAlias := fs.String("run", "", "alias for -only (kept for compatibility)")
 	skip := fs.String("skip", "", "comma-separated analyzer names to skip")
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file/line/analyzer/message)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/severity/message)")
+	baseline := fs.String("baseline", "", "waive findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -99,50 +121,186 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "simlint:", err)
 		return 2
 	}
+	records := toRecords(findings, mustAbs("."))
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, records); err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "simlint: baseline %s: %d entries\n", *writeBaseline, len(records))
+		return 0
+	}
+	if *baseline != "" {
+		waived, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		records = filterBaseline(records, waived)
+	}
 	if *jsonOut {
-		if err := writeJSON(stdout, findings); err != nil {
+		if err := writeJSON(stdout, records); err != nil {
 			fmt.Fprintln(stderr, "simlint:", err)
 			return 2
 		}
 	} else {
-		for _, f := range findings {
-			pos := f.Pkg.Fset.Position(f.Diag.Pos)
-			fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer.Name, f.Diag.Message)
+		for _, r := range records {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", r.File, r.Line, r.Col, r.Analyzer, r.Message)
 		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(findings))
+	errs, warns := 0, 0
+	for _, r := range records {
+		if r.Severity == analysis.SeverityWarn {
+			warns++
+		} else {
+			errs++
+		}
+	}
+	if warns > 0 {
+		fmt.Fprintf(stderr, "simlint: %d warning(s)\n", warns)
+	}
+	if errs > 0 {
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", errs)
 		return 1
 	}
 	return 0
 }
 
-// jsonFinding is the -json wire form of one finding.
-type jsonFinding struct {
+// record is one finding in driver form: a repo-relative path and the
+// fields every output mode (text, JSON, baseline) agrees on.
+type record struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
 	Message  string `json:"message"`
 }
 
-// writeJSON emits the findings as one JSON array. An empty run prints
-// [] rather than null so consumers can always range over the result.
-func writeJSON(w io.Writer, findings []analysis.Finding) error {
-	out := make([]jsonFinding, 0, len(findings))
+// toRecords converts suite findings to records: paths relativized to
+// baseDir, sorted by file/line/col/analyzer/message, exact duplicates
+// dropped. The order is a total one over every field that reaches the
+// output, so -json and the baseline are diff-stable run to run.
+func toRecords(findings []analysis.Finding, baseDir string) []record {
+	out := make([]record, 0, len(findings))
 	for _, f := range findings {
 		pos := f.Pkg.Fset.Position(f.Diag.Pos)
-		out = append(out, jsonFinding{
-			File:     pos.Filename,
+		file := pos.Filename
+		if rel, err := filepath.Rel(baseDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, record{
+			File:     file,
 			Line:     pos.Line,
 			Col:      pos.Column,
 			Analyzer: f.Analyzer.Name,
+			Severity: f.Analyzer.EffectiveSeverity(),
 			Message:  f.Diag.Message,
 		})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.File != b.File:
+			return a.File < b.File
+		case a.Line != b.Line:
+			return a.Line < b.Line
+		case a.Col != b.Col:
+			return a.Col < b.Col
+		case a.Analyzer != b.Analyzer:
+			return a.Analyzer < b.Analyzer
+		default:
+			return a.Message < b.Message
+		}
+	})
+	dedup := out[:0]
+	for i, r := range out {
+		if i > 0 && r == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, r)
+	}
+	return dedup
+}
+
+// mustAbs resolves dir or falls back to it verbatim (relativization
+// then simply keeps absolute paths).
+func mustAbs(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	return abs
+}
+
+// baselineEntry is one waived finding. No line or column: a baseline
+// survives unrelated edits to the file, and a waived finding that
+// moves is still the same finding.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// loadBaseline reads a baseline file written by -write-baseline.
+func loadBaseline(path string) (map[baselineEntry]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	waived := make(map[baselineEntry]bool, len(entries))
+	for _, e := range entries {
+		waived[e] = true
+	}
+	return waived, nil
+}
+
+// filterBaseline drops records the baseline waives.
+func filterBaseline(records []record, waived map[baselineEntry]bool) []record {
+	out := records[:0]
+	for _, r := range records {
+		if waived[baselineEntry{r.File, r.Analyzer, r.Message}] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// saveBaseline writes the current findings as a baseline. Entries are
+// unique and inherit toRecords's ordering, so regeneration is
+// diff-stable.
+func saveBaseline(path string, records []record) error {
+	entries := make([]baselineEntry, 0, len(records))
+	seen := map[baselineEntry]bool{}
+	for _, r := range records {
+		e := baselineEntry{r.File, r.Analyzer, r.Message}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		entries = append(entries, e)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeJSON emits the records as one JSON array. An empty run prints
+// [] rather than null so consumers can always range over the result.
+func writeJSON(w io.Writer, records []record) error {
+	if records == nil {
+		records = []record{}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(records)
 }
 
 // selectAnalyzers resolves the -only/-skip flags against the suite.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"streamsim/internal/analysis"
+	"streamsim/internal/analysis/directives"
 )
 
 func TestSelectAnalyzers(t *testing.T) {
@@ -70,15 +71,16 @@ func TestJSONOutput(t *testing.T) {
 		Diag:     analysis.Diagnostic{Pos: f.Pos(10), Message: "boom"},
 	}
 	var buf bytes.Buffer
-	if err := writeJSON(&buf, []analysis.Finding{finding}); err != nil {
+	if err := writeJSON(&buf, toRecords([]analysis.Finding{finding}, "/nowhere")); err != nil {
 		t.Fatal(err)
 	}
-	var got []jsonFinding
+	var got []record
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
 	}
 	if len(got) != 1 || got[0].File != "sim.go" || got[0].Line != 1 ||
-		got[0].Analyzer != analyzers[0].Name || got[0].Message != "boom" {
+		got[0].Analyzer != analyzers[0].Name || got[0].Message != "boom" ||
+		got[0].Severity != analyzers[0].EffectiveSeverity() {
 		t.Fatalf("decoded %+v", got)
 	}
 	buf.Reset()
@@ -87,6 +89,106 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if strings.TrimSpace(buf.String()) != "[]" {
 		t.Fatalf("empty findings encode as %q, want []", buf.String())
+	}
+}
+
+// TestRecordOrderingAndDedup locks in the diff-stability contract:
+// records sort by file, line, column, analyzer and message, and exact
+// duplicates collapse to one.
+func TestRecordOrderingAndDedup(t *testing.T) {
+	fset := token.NewFileSet()
+	fb := fset.AddFile("b.go", -1, 100)
+	fa := fset.AddFile("a.go", -1, 100)
+	pkg := &analysis.Package{Fset: fset}
+	mk := func(a *analysis.Analyzer, pos token.Pos, msg string) analysis.Finding {
+		return analysis.Finding{Analyzer: a, Pkg: pkg, Diag: analysis.Diagnostic{Pos: pos, Message: msg}}
+	}
+	findings := []analysis.Finding{
+		mk(analyzers[1], fb.Pos(10), "later file"),
+		mk(analyzers[1], fa.Pos(10), "zzz same pos, later analyzer... or not"),
+		mk(analyzers[0], fa.Pos(10), "same pos, first analyzer"),
+		mk(analyzers[0], fa.Pos(10), "same pos, first analyzer"), // exact duplicate
+		mk(analyzers[0], fa.Pos(2), "earlier line"),
+	}
+	records := toRecords(findings, "/nowhere")
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want 4 (duplicate dropped): %+v", len(records), records)
+	}
+	wantFiles := []string{"a.go", "a.go", "a.go", "b.go"}
+	for i, r := range records {
+		if r.File != wantFiles[i] {
+			t.Fatalf("record %d in file %s, want %s (%+v)", i, r.File, wantFiles[i], records)
+		}
+	}
+	if records[0].Line != 1 {
+		t.Errorf("records not line-ordered: %+v", records)
+	}
+	if records[1].Analyzer != "pow2size" || records[2].Analyzer != "seededrand" {
+		t.Errorf("same-position records not analyzer-ordered: %+v", records)
+	}
+}
+
+// TestBaselineRoundTrip covers -write-baseline/-baseline: a saved
+// baseline waives exactly its recorded findings, by file, analyzer
+// and message — not by line, so findings that merely move stay
+// waived.
+func TestBaselineRoundTrip(t *testing.T) {
+	records := []record{
+		{File: "a.go", Line: 3, Col: 1, Analyzer: "maporder", Severity: "warn", Message: "m1"},
+		{File: "a.go", Line: 9, Col: 1, Analyzer: "detflow", Severity: "error", Message: "m2"},
+	}
+	path := t.TempDir() + "/baseline.json"
+	if err := saveBaseline(path, records); err != nil {
+		t.Fatal(err)
+	}
+	waived, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := []record{
+		{File: "a.go", Line: 30, Col: 7, Analyzer: "maporder", Severity: "warn", Message: "m1"}, // moved: still waived
+		{File: "a.go", Line: 9, Col: 1, Analyzer: "detflow", Severity: "error", Message: "m3"},  // new message: kept
+	}
+	got := filterBaseline(moved, waived)
+	if len(got) != 1 || got[0].Message != "m3" {
+		t.Fatalf("filterBaseline kept %+v, want only m3", got)
+	}
+}
+
+// TestSeverityTiers pins the tier assignment: maporder is the one
+// warn-tier analyzer (detflow subsumes it), everything else errors.
+func TestSeverityTiers(t *testing.T) {
+	for _, a := range analyzers {
+		want := analysis.SeverityError
+		if a.Name == "maporder" {
+			want = analysis.SeverityWarn
+		}
+		if got := a.EffectiveSeverity(); got != want {
+			t.Errorf("%s severity = %q, want %q", a.Name, got, want)
+		}
+	}
+}
+
+// TestSuiteMatchesDirectivesList keeps the directives analyzer's
+// hard-coded name list in lockstep with the registered suite, so a
+// renamed or added analyzer cannot silently invalidate
+// //simlint:ignore validation.
+func TestSuiteMatchesDirectivesList(t *testing.T) {
+	suite := map[string]bool{}
+	for _, a := range analyzers {
+		suite[a.Name] = true
+	}
+	listed := map[string]bool{}
+	for _, n := range directives.KnownAnalyzers {
+		listed[n] = true
+		if !suite[n] {
+			t.Errorf("directives.KnownAnalyzers lists %q, which is not in the simlint suite", n)
+		}
+	}
+	for _, a := range analyzers {
+		if !listed[a.Name] {
+			t.Errorf("analyzer %q is missing from directives.KnownAnalyzers", a.Name)
+		}
 	}
 }
 

@@ -1,0 +1,11 @@
+package borrowck
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+)
+
+func TestBorrowck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "bor")
+}

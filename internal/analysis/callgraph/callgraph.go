@@ -66,6 +66,19 @@ type Func struct {
 	// //simlint:coldpath directives in the declaration's doc comment.
 	Hotpath  bool
 	Coldpath bool
+	// Deterministic records //simlint:deterministic: the function is a
+	// result-producing root the detflow analyzer proves transitively
+	// free of nondeterministic constructs.
+	Deterministic bool
+	// ConfigLoad records //simlint:configload: the function reads the
+	// environment or filesystem by design (a config loader), and
+	// detflow does not traverse into it.
+	ConfigLoad bool
+	// Borrowed are the signature positions named by //simlint:borrowed
+	// (receiver = -1, parameters 0-based): values the function must
+	// not retain. Names that fail to resolve are dropped here and
+	// reported by the directives analyzer.
+	Borrowed []int
 
 	// CtxParams are the function's context.Context parameters.
 	CtxParams []*types.Var
@@ -75,6 +88,10 @@ type Func struct {
 	// Allocs are the allocating constructs in the body (see Alloc for
 	// the rules; panic arguments are exempt).
 	Allocs []Alloc
+	// Nondets are the nondeterministic constructs in the body (see
+	// nondet.go for the rules; the sorted-slice map-range idiom is
+	// exempt).
+	Nondets []Nondet
 	// Contexts are context.Background()/context.TODO() call sites.
 	Contexts []token.Pos
 	// Calls are the statically resolved calls to other module
@@ -128,7 +145,7 @@ func Build(pkgs []*analysis.Package) *Graph {
 					Pkg:      pkg,
 					Exported: fd.Name.IsExported(),
 				}
-				fn.Hotpath, fn.Coldpath = directives(fd.Doc)
+				applyDirectives(fn, fd.Doc)
 				sig := obj.Type().(*types.Signature)
 				for i := 0; i < sig.Params().Len(); i++ {
 					if p := sig.Params().At(i); isContext(p.Type()) {
@@ -142,27 +159,105 @@ func Build(pkgs []*analysis.Package) *Graph {
 	}
 	for _, fn := range g.Decls {
 		scanBody(g, fn)
+		scanNondets(fn)
 	}
 	return g
 }
 
-// directives parses //simlint:hotpath and //simlint:coldpath from a
-// doc comment. The hotpath directive may carry arguments (test files
-// use them to name entry points); the bare prefix is what marks a
-// declaration.
-func directives(doc *ast.CommentGroup) (hot, cold bool) {
+// applyDirectives parses the //simlint:* verbs that mark graph facts
+// on a declaration's doc comment: hotpath, coldpath, deterministic,
+// configload, and borrowed <names>. Verbs other than borrowed ignore
+// any arguments here (test gate files use them to name entry points);
+// the directives analyzer validates spelling, placement and argument
+// resolution.
+func applyDirectives(fn *Func, doc *ast.CommentGroup) {
 	if doc == nil {
-		return false, false
+		return
 	}
 	for _, c := range doc.List {
-		switch {
-		case c.Text == "//simlint:hotpath" || strings.HasPrefix(c.Text, "//simlint:hotpath "):
-			hot = true
-		case c.Text == "//simlint:coldpath" || strings.HasPrefix(c.Text, "//simlint:coldpath "):
-			cold = true
+		verb, args := SplitDirective(c.Text)
+		switch verb {
+		case "hotpath":
+			fn.Hotpath = true
+		case "coldpath":
+			fn.Coldpath = true
+		case "deterministic":
+			fn.Deterministic = true
+		case "configload":
+			fn.ConfigLoad = true
+		case "borrowed":
+			for _, name := range args {
+				if i, ok := ParamIndex(fn, name); ok {
+					fn.Borrowed = append(fn.Borrowed, i)
+				}
+			}
 		}
 	}
-	return hot, cold
+}
+
+// SplitDirective parses one "//simlint:verb arg arg" comment into its
+// verb and arguments (space- or comma-separated). A "//" token starts
+// an embedded remark and ends the directive, so trailing commentary
+// (including analysistest want expectations) never reads as an
+// argument. The verb is "" when the comment is not a simlint
+// directive; IsDirective distinguishes a malformed directive from an
+// ordinary comment.
+func SplitDirective(text string) (verb string, args []string) {
+	rest, ok := strings.CutPrefix(text, "//simlint:")
+	if !ok {
+		return "", nil
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	for i, f := range fields {
+		if strings.HasPrefix(f, "//") {
+			fields = fields[:i]
+			break
+		}
+	}
+	if len(fields) == 0 {
+		return "", nil
+	}
+	return fields[0], fields[1:]
+}
+
+// IsDirective reports whether a comment claims the simlint directive
+// namespace (whether or not it parses).
+func IsDirective(text string) bool {
+	return strings.HasPrefix(text, "//simlint:")
+}
+
+// ParamIndex resolves a //simlint:borrowed argument against fn's
+// signature: the receiver is index -1, parameters are 0-based.
+func ParamIndex(fn *Func, name string) (int, bool) {
+	if name == "" || name == "_" {
+		return 0, false
+	}
+	sig := fn.Obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil && recv.Name() == name {
+		return -1, true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ParamAt returns the *types.Var at a ParamIndex position: the
+// receiver for -1, the i'th parameter otherwise (nil when out of
+// range).
+func ParamAt(fn *Func, index int) *types.Var {
+	sig := fn.Obj.Type().(*types.Signature)
+	if index < 0 {
+		return sig.Recv()
+	}
+	if index >= sig.Params().Len() {
+		return nil
+	}
+	return sig.Params().At(index)
 }
 
 // isContext reports whether t is context.Context.

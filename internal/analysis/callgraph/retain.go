@@ -1,0 +1,319 @@
+// Borrow-scope escape facts: the per-parameter retention analysis
+// behind the borrowck analyzer. A //simlint:borrowed parameter (a
+// decoded trace batch, a tap-event slice, a cache.Prober snapshot) is
+// lent to the callee for the duration of the call; ParamRetention
+// computes where a function keeps such a value past its return —
+// directly, or by forwarding it to another module function.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RetainSite is one construct that keeps a borrowed value alive after
+// the function returns.
+type RetainSite struct {
+	Pos  token.Pos
+	What string
+}
+
+// Forward records a borrowed value passed onward to another module
+// function; the retention question recurses into the callee's view of
+// that signature position (receiver = -1).
+type Forward struct {
+	Pos    token.Pos
+	Callee *Func
+	Param  int
+}
+
+// Retention is the escape summary for one (function, parameter) pair.
+type Retention struct {
+	Sites    []RetainSite
+	Forwards []Forward
+}
+
+// ParamRetention computes fn's retention of the value at a ParamIndex
+// position. The analysis is intraprocedural plus forwards:
+//
+//   - an alias set over local variables is grown to a fixpoint from
+//     the parameter (subslices, element pointers, reference-carrying
+//     elements and fields, appends, conversions, composite literals
+//     that embed an alias);
+//   - a retain site is an aliased value assigned through a selector,
+//     index or dereference (a struct field, map or slice element, or
+//     pointee that outlives the frame), assigned to a package-level
+//     variable, returned, sent on a channel, passed to a goroutine,
+//     or captured by a func literal (conservatively: closures may
+//     outlive the call);
+//   - an aliased argument to a static module call becomes a Forward;
+//     calls into other modules and dynamic dispatch are deliberate
+//     seams, consistent with the graph's static-edges-only contract.
+//
+// Values whose types carry no references (a mem.Access copied out of
+// a borrowed slice, a uint64 element) cannot retain the borrow and
+// are never aliased.
+func (g *Graph) ParamRetention(fn *Func, index int) Retention {
+	var ret Retention
+	v := ParamAt(fn, index)
+	if v == nil || !refCarrying(v.Type()) {
+		return ret
+	}
+	info := fn.Pkg.TypesInfo
+	aliased := map[types.Object]bool{v: true}
+
+	ident := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+
+	// aliasExpr reports whether evaluating e yields a value that still
+	// references the borrowed storage.
+	var aliasExpr func(e ast.Expr) bool
+	// baseExpr strips index/selector/star wrappers down to the root
+	// operand, for &x[i] / &x.f style interior pointers.
+	var baseExpr func(e ast.Expr) ast.Expr
+	baseExpr = func(e ast.Expr) ast.Expr {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return ast.Unparen(e)
+			}
+		}
+	}
+	aliasExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := ident(e)
+			return obj != nil && aliased[obj]
+		case *ast.SliceExpr:
+			return aliasExpr(e.X)
+		case *ast.IndexExpr:
+			return aliasExpr(e.X) && refCarryingExpr(info, e)
+		case *ast.SelectorExpr:
+			return aliasExpr(e.X) && refCarryingExpr(info, e)
+		case *ast.StarExpr:
+			return aliasExpr(e.X) && refCarryingExpr(info, e)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				return aliasExpr(baseExpr(e.X))
+			}
+		case *ast.CallExpr:
+			if b, ok := info.Uses[funIdent(e)].(*types.Builtin); ok && b.Name() == "append" {
+				for _, a := range e.Args {
+					if aliasExpr(a) {
+						return true
+					}
+				}
+				return false
+			}
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				return refCarrying(tv.Type) && aliasExpr(e.Args[0])
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if aliasExpr(elt) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Alias fixpoint over assignments and range clauses; aliases chain
+	// (b := a[1:]; c := b), so iterate until stable.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				for i, lhs := range n.Lhs {
+					obj := ident(lhs)
+					if obj == nil || aliased[obj] {
+						continue
+					}
+					if aliasExpr(n.Rhs[i]) {
+						aliased[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil || !aliasExpr(n.X) {
+					break
+				}
+				obj := ident(n.Value)
+				if obj == nil || aliased[obj] || !refCarrying(obj.Type()) {
+					break
+				}
+				aliased[obj] = true
+				changed = true
+			}
+			return true
+		})
+	}
+
+	retain := func(pos token.Pos, what string) {
+		ret.Sites = append(ret.Sites, RetainSite{pos, what})
+	}
+
+	// Collection walk: retain sites and forwards, in source order.
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i, lhs := range n.Lhs {
+				if !aliasExpr(n.Rhs[i]) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if obj := ident(l); obj != nil && obj.Parent() == fn.Pkg.Types.Scope() {
+						retain(n.Pos(), "stored to package variable "+l.Name)
+					}
+				case *ast.SelectorExpr:
+					retain(n.Pos(), "stored to field or element "+types.ExprString(l))
+				case *ast.IndexExpr, *ast.StarExpr:
+					retain(n.Pos(), "stored through "+types.ExprString(l))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if aliasExpr(r) {
+					retain(n.Pos(), "returned to the caller")
+				}
+			}
+		case *ast.SendStmt:
+			if aliasExpr(n.Value) {
+				retain(n.Pos(), "sent on a channel")
+			}
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				if aliasExpr(a) {
+					retain(n.Pos(), "passed to a goroutine")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesAliased(info, n, aliased) {
+				retain(n.Pos(), "captured by a func literal")
+			}
+			return false // the capture is the finding; don't re-walk inside
+		case *ast.CallExpr:
+			g.forwardCall(fn, n, aliasExpr, &ret)
+		}
+		return true
+	}
+	ast.Inspect(fn.Decl.Body, walk)
+	return ret
+}
+
+// forwardCall records forwards for aliased arguments (and an aliased
+// method receiver) at one static module call site.
+func (g *Graph) forwardCall(fn *Func, call *ast.CallExpr, aliasExpr func(ast.Expr) bool, ret *Retention) {
+	info := fn.Pkg.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion: aliasExpr handles it
+	}
+	callee := StaticCallee(info, call)
+	if callee == nil {
+		return // builtin or dynamic dispatch: a deliberate seam
+	}
+	node := g.Funcs[callee.FullName()]
+	if node == nil {
+		return // out-of-module callee: a deliberate seam
+	}
+	sig := callee.Type().(*types.Signature)
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		if !aliasExpr(arg) {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= np-1 {
+			pi = np - 1
+		}
+		if pi >= np {
+			continue
+		}
+		ret.Forwards = append(ret.Forwards, Forward{call.Pos(), node, pi})
+	}
+	if sig.Recv() == nil {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && aliasExpr(sel.X) {
+		ret.Forwards = append(ret.Forwards, Forward{call.Pos(), node, -1})
+	}
+}
+
+// capturesAliased reports whether a func literal's body references any
+// variable in the alias set.
+func capturesAliased(info *types.Info, lit *ast.FuncLit, aliased map[types.Object]bool) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && aliased[obj] {
+				captured = true
+			}
+		}
+		return !captured
+	})
+	return captured
+}
+
+// funIdent returns the identifier a call invokes, or nil.
+func funIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// refCarryingExpr reports whether an expression's type can carry a
+// reference to borrowed storage.
+func refCarryingExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && refCarrying(tv.Type)
+}
+
+// refCarrying reports whether values of type t can hold a reference
+// into other storage: pointers, slices, maps, channels, funcs and
+// interfaces do; structs and arrays do iff an element does; scalars
+// and strings do not (string bytes are immutable, so sharing them
+// cannot violate a borrow).
+func refCarrying(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refCarrying(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return refCarrying(u.Elem())
+	default:
+		return false
+	}
+}

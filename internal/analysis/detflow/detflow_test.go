@@ -1,0 +1,11 @@
+package detflow
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "det")
+}

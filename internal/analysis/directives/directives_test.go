@@ -1,0 +1,11 @@
+package directives
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+)
+
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), Analyzer, "dir")
+}

@@ -37,6 +37,11 @@ var Analyzer = &analysis.Analyzer{
 		"streamsim/internal/timing",
 	},
 	Run: run,
+	// detflow subsumes this rule with a flow-aware one (it follows the
+	// call graph from //simlint:deterministic roots and recognizes the
+	// collect-then-sort idiom), so the syntactic pass reports at warn
+	// tier: visible, but not a failure on its own.
+	Severity: analysis.SeverityWarn,
 }
 
 func run(pass *analysis.Pass) error {

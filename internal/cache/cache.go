@@ -401,7 +401,13 @@ func (p *Prober) DeferHits() bool { return p.deferHits }
 // sub-slice so the compiler drops the per-way bounds checks, which
 // keeps the method within the inlining budget at every call site.
 //
+// The snapshot is borrowed for the batch: its tags slice aliases the
+// cache's live storage, so keeping a Prober (or anything reached
+// through it) past the replay batch would let stale geometry or a
+// resized cache corrupt a later probe.
+//
 //simlint:hotpath
+//simlint:borrowed p
 func (p *Prober) Probe(addr uint64) (way uint64, st ProbeStatus) {
 	blk := addr >> p.blockShift
 	set := blk & p.setMask

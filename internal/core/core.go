@@ -349,6 +349,7 @@ func (s *System) Access(a mem.Access) {
 // statistics produced are byte-identical to calling Access in a loop.
 //
 //simlint:hotpath
+//simlint:borrowed accs
 func (s *System) AccessBatch(accs []mem.Access) {
 	for i := range accs {
 		a := &accs[i]
@@ -374,6 +375,7 @@ func (s *System) AccessBatch(accs []mem.Access) {
 // probe, with no struct materialization between decode and simulation.
 //
 //simlint:hotpath
+//simlint:borrowed words
 func (s *System) AccessPacked(words []uint64) {
 	// Stack-resident probe snapshots: the compiler can prove the
 	// bookkeeping calls below never write through them, so the cache
@@ -584,6 +586,7 @@ func (s *System) tapEvent(ev uint64) {
 // (adoptFrontStats) instead of being re-simulated.
 //
 //simlint:hotpath
+//simlint:borrowed events
 func (s *System) applyTap(events []uint64) {
 	for _, ev := range events {
 		if ev&tapWriteBack != 0 {

@@ -19,6 +19,8 @@ var figure3StreamCounts = []int{1, 2, 3, 4, 5, 6, 7, 8, 10}
 
 // Figure3 regenerates hit rate versus the number of streams for every
 // benchmark (unfiltered, depth 2).
+//
+//simlint:deterministic
 func Figure3(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	cols := []string{"benchmark"}
@@ -163,6 +165,8 @@ var figure9Benchmarks = []string{"appsp", "fftpde", "trfd"}
 
 // Figure9 regenerates hit-rate sensitivity to the czone size for the
 // three stride-heavy benchmarks.
+//
+//simlint:deterministic
 func Figure9(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	cols := []string{"benchmark"}

@@ -33,6 +33,8 @@ func trafficRate(st timing.Stats, traffic uint64) float64 {
 // Scalability compares how many processors the shared memory sustains
 // per benchmark for unfiltered versus filtered streams. Registered as
 // "extscale".
+//
+//simlint:deterministic
 func Scalability(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{

@@ -150,6 +150,8 @@ func minL2ForHitRate(ctx context.Context, name string, size workload.Size, scale
 // comparison: for each growable benchmark at both input sizes, the
 // stream hit rate (full Section 7 configuration) and the minimum
 // secondary cache matching it.
+//
+//simlint:deterministic
 func Table4(ctx context.Context, opt Options) (*tab.Table, error) {
 	opt = opt.withDefaults()
 	t := &tab.Table{

@@ -16,7 +16,16 @@ const goldenScale = 0.05
 // TestGoldenEquivalence submits every paper experiment through the
 // HTTP service and checks the returned table is byte-identical to the
 // direct in-process run at the same options — the determinism
-// guarantee that makes memoized service results trustworthy.
+// guarantee that makes memoized service results trustworthy. The
+// directives below are detflow gates (see detflow_static_test.go):
+// this pass exercises job execution and, through it, every annotated
+// experiment runner.
+//
+//simlint:deterministic streamsim/internal/service.runRequest
+//simlint:deterministic streamsim/internal/experiments.Figure3
+//simlint:deterministic streamsim/internal/experiments.Figure9
+//simlint:deterministic streamsim/internal/experiments.Table4
+//simlint:deterministic streamsim/internal/experiments.Scalability
 func TestGoldenEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden equivalence runs every experiment; skipped in -short")

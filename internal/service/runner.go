@@ -15,7 +15,11 @@ import (
 	"streamsim/internal/tab"
 )
 
-// runRequest executes one normalized request under ctx.
+// runRequest executes one normalized request under ctx. Job results
+// must be byte-identical to the direct in-process run (the golden
+// tests diff them), so this root must stay deterministic.
+//
+//simlint:deterministic
 func runRequest(ctx context.Context, req api.SubmitRequest) (*tab.Table, error) {
 	switch {
 	case req.Experiment != "" && req.Sweep != nil:

@@ -152,6 +152,8 @@ func ParamNames() string {
 // point replays that recording, up to Spec.Parallel points at a time.
 // Cancelling ctx aborts recording and every in-flight replay within
 // one batch boundary.
+//
+//simlint:deterministic
 func Run(ctx context.Context, s Spec) (*tab.Table, []float64, error) {
 	s = s.WithDefaults()
 	if err := s.Validate(); err != nil {

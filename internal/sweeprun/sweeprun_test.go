@@ -23,6 +23,8 @@ func baseSpec(metric string, parallel int) Spec {
 // every metric — including cpi, whose event-order fidelity depends on
 // the recorded instruction positions — a parallel sweep returns the
 // same table and series as a sequential one, in the same order.
+//
+//simlint:deterministic streamsim/internal/sweeprun.Run
 func TestRunParallelMatchesSequential(t *testing.T) {
 	for _, metric := range []string{"hit", "eb", "missrate", "cpi"} {
 		t.Run(metric, func(t *testing.T) {

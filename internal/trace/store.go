@@ -126,6 +126,8 @@ func NewStore(capacityHint int) *Store {
 // Append encodes one access. Errors (an address beyond the 62-bit
 // format limit, an unknown kind) are deferred to Err, matching
 // Writer's contract.
+//
+//simlint:deterministic
 func (s *Store) Append(a mem.Access) {
 	if s.err != nil {
 		return
@@ -206,7 +208,11 @@ func (s *Store) Append(a mem.Access) {
 	s.n++
 }
 
-// AppendBatch encodes a batch of accesses in order.
+// AppendBatch encodes a batch of accesses in order. The batch is the
+// caller's: workloads flush one reused buffer through here, so the
+// encoder must be done with it when it returns.
+//
+//simlint:borrowed accs
 func (s *Store) AppendBatch(accs []mem.Access) {
 	for i := range accs {
 		s.Append(accs[i])
@@ -219,6 +225,8 @@ func (s *Store) Access(a mem.Access) { s.Append(a) }
 
 // AccessBatch is AppendBatch under the name workload.BatchSink
 // expects.
+//
+//simlint:borrowed accs
 func (s *Store) AccessBatch(accs []mem.Access) { s.AppendBatch(accs) }
 
 // AddInstructions records n retired instructions at the current
@@ -509,6 +517,8 @@ func (it *StoreIter) NextPacked(buf []uint64) int {
 // Accesses are decoded with full PC fidelity (a sink may be a
 // PC-indexed prefetcher). A cancelled replay returns ctx.Err() with
 // the sink having consumed a prefix of the trace.
+//
+//simlint:deterministic
 func (s *Store) ReplayContext(ctx context.Context, sink Sink) error {
 	done := ctx.Done()
 	bs, batching := sink.(BatchSink)

@@ -36,6 +36,10 @@ func randomAccesses(n int) []mem.Access {
 	return accs
 }
 
+// TestStoreRoundTrip drives the deterministic encode side: appends
+// followed by a full decode must reproduce the input byte-for-byte.
+//
+//simlint:deterministic (*streamsim/internal/trace.Store).Append
 func TestStoreRoundTrip(t *testing.T) {
 	accs := randomAccesses(10000)
 	s := NewStore(len(accs))
@@ -234,6 +238,10 @@ func (e *batchEventSink) AccessBatch(accs []mem.Access) {
 	}
 }
 
+// TestStoreReplayContextEventOrder drives the deterministic decode
+// side: a replay must deliver the recorded event order exactly.
+//
+//simlint:deterministic (*streamsim/internal/trace.Store).ReplayContext
 func TestStoreReplayContextEventOrder(t *testing.T) {
 	// Build a store with instruction counts at awkward positions:
 	// before any access, mid-stream at non-batch-aligned points, twice
