@@ -57,7 +57,7 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Hot-path benchmark regexp shared by the bench-* gates below.
-BENCH_HOT = SystemThroughput$$|SystemThroughputBatch$$|TraceReplay$$|TraceReplayScalar$$|ReplayMulti2$$|ReplayMulti8$$
+BENCH_HOT = SystemThroughput$$|SystemThroughputBatch$$|TraceReplay$$|TraceReplayScalar$$|ReplayMulti2$$|ReplayMulti8$$|ReplayIntra2$$|ReplayIntra8$$|Fig3Sharded$$
 
 # bench-smoke is the CI gate: one iteration per hot-path benchmark,
 # checked against the committed baseline (BENCH_after.json) by
@@ -75,6 +75,19 @@ bench-check:
 # bench-update refreshes the committed baseline on this machine.
 bench-update:
 	$(GO) run ./cmd/benchrun -bench '$(BENCH_HOT)' -benchtime 2s -count 5 -baseline BENCH_after.json -update
+
+# replay-smoke exercises the window-sharded replay engine end to end:
+# the same fig3 regeneration runs at a forced eight-way chunk plan on
+# one worker and on every core; the two tables must be byte-identical
+# (the chunk plan is a function of the trace alone, so worker width
+# changes wall-clock time only). Closeness of the sharded statistics
+# to the exact sequential ones is pinned separately by the ShardExact
+# oracle and the bounded-divergence test in internal/core.
+replay-smoke:
+	GOMAXPROCS=1 $(GO) run ./cmd/paperexp -exp fig3 -scale 0.1 -shards 8 > replay-1worker.out
+	$(GO) run ./cmd/paperexp -exp fig3 -scale 0.1 -shards 8 > replay-nworker.out
+	cmp replay-1worker.out replay-nworker.out
+	rm -f replay-1worker.out replay-nworker.out
 
 # sweep-smoke exercises the parallel sweep scheduler end to end: the
 # same 8-value stream-count sweep runs serial (-parallel 1) and at one

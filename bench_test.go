@@ -491,6 +491,68 @@ func BenchmarkReplayMulti2(b *testing.B) { benchReplayMulti(b, 2) }
 // fig3/fig9 shape (a full x-axis sweep per benchmark).
 func BenchmarkReplayMulti8(b *testing.B) { benchReplayMulti(b, 8) }
 
+// benchReplayIntra measures the window-sharded engine end to end: the
+// same trace and system count as benchReplayMulti, but the trace
+// itself splits into window chunks (forced to eight so the plan — and
+// therefore the statistics — is identical on every host) consumed by
+// GOMAXPROCS workers from forked state. refs/s counts trace length ×
+// nSys, excluding the warmup replays, so the number is directly
+// comparable to ReplayMultiN: the gap is the win of intra-trace
+// parallelism on multi-core hosts, or its fork/warmup overhead on one
+// core.
+//
+//simlint:hotpath streamsim/internal/core.ReplayStoreMultiWindowed
+func benchReplayIntra(b *testing.B, nSys int) {
+	store, _ := replayFixture(b)
+	refs := store.Len()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		systems := make([]*core.System, nSys)
+		for j := range systems {
+			sys, err := core.New(core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			systems[j] = sys
+		}
+		if err := core.ReplayStoreMultiWindowed(ctx, systems, store, core.ShardOptions{Shards: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(nSys)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkReplayIntra2 window-shards a 2-system fan-out group.
+func BenchmarkReplayIntra2(b *testing.B) { benchReplayIntra(b, 2) }
+
+// BenchmarkReplayIntra8 window-shards an 8-system fan-out group — the
+// fig3 shape with the trace split across the cores as well.
+func BenchmarkReplayIntra8(b *testing.B) { benchReplayIntra(b, 8) }
+
+// BenchmarkFig3Sharded regenerates Figure 3 with forced window
+// sharding (the paperexp -shards path): its wall-clock per op is the
+// sharded fig3 latency number BENCH_*.json tracks. One untimed run
+// first warms the experiments' trace cache, so every timed op
+// measures replay alone and the single-iteration CI gate sees the
+// same regime the committed baseline averaged.
+func BenchmarkFig3Sharded(b *testing.B) {
+	e, err := experiments.Lookup("fig3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Scale: benchScale, Shards: 8}
+	if _, err := e.Run(context.Background(), opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(context.Background(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTraceDecode isolates the decode half of BenchmarkTraceReplay:
 // the PC-skipping batch decode of the same recorded trace, with no
 // simulator attached. The difference between this and TraceReplay is

@@ -296,6 +296,39 @@ func (c *Cache) Stats() Stats {
 // ResetStats clears the counters without disturbing cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// AddStats accumulates another cache's counters into this one. The
+// derived Accesses field of the argument is ignored (Stats recomputes
+// it on read). The window-sharded replay engine uses it to merge the
+// per-chunk deltas its forks produce.
+func (c *Cache) AddStats(s Stats) {
+	c.stats.Hits += s.Hits
+	c.stats.Misses += s.Misses
+	c.stats.ReadMisses += s.ReadMisses
+	c.stats.WriteMisses += s.WriteMisses
+	c.stats.WriteBacks += s.WriteBacks
+	c.stats.Fills += s.Fills
+	c.stats.PrefetchFills += s.PrefetchFills
+	c.stats.Unsampled += s.Unsampled
+}
+
+// Clone returns a deep copy of the cache: same configuration and
+// derived geometry, fresh backing arrays for the tag, metadata and
+// replacement-stamp state, and a copy of the statistics and the
+// replacement RNG state. The clone evolves independently of the
+// original from this point on.
+func (c *Cache) Clone() *Cache {
+	n := *c
+	n.tags = append([]uint64(nil), c.tags...)
+	n.meta = append([]uint8(nil), c.meta...)
+	if c.used != nil {
+		n.used = append([]uint64(nil), c.used...)
+	}
+	if c.filled != nil {
+		n.filled = append([]uint64(nil), c.filled...)
+	}
+	return &n
+}
+
 // index splits a byte address into set index and tag.
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	blk := addr >> c.blockShift

@@ -49,9 +49,12 @@ func ReplayStore(ctx context.Context, sys *System, st *trace.Store) error {
 type FanOut int
 
 const (
-	// FanOutAuto picks FanOutSharded when both the host and the system
-	// set can use it (GOMAXPROCS > 1 and more than one system), else
-	// FanOutSequential.
+	// FanOutAuto picks the split from GOMAXPROCS and the trace shape:
+	// a long trace on a multi-core host goes to FanOutWindowed (the
+	// trace itself shards across the cores, warmup-approximate; see
+	// ReplayStoreMultiWindowed), a short one to FanOutSharded when
+	// there are systems to spread (GOMAXPROCS > 1 and more than one
+	// system), else FanOutSequential.
 	FanOutAuto FanOut = iota
 	// FanOutSequential drives every system from one goroutine, batch by
 	// batch: the 512-reference decoded slice stays hot in L1 while all N
@@ -65,6 +68,13 @@ const (
 	// Simulator states are fully independent, so shards never
 	// synchronize except on batch hand-off.
 	FanOutSharded
+	// FanOutWindowed shards the trace itself: workers simulate disjoint
+	// runs of sample windows against forked state and the per-chunk
+	// statistics merge back (ReplayStoreMultiWindowed with default
+	// options). Unlike the other modes it is warmup-approximate, not
+	// byte-exact, and it falls back to FanOutSequential on traces too
+	// short to split.
+	FanOutWindowed
 )
 
 // lastFanOut records the width of the most recent multi-config
@@ -88,6 +98,19 @@ func ReplayStoreMulti(ctx context.Context, systems []*System, st *trace.Store) e
 // ReplayStoreMultiMode is ReplayStoreMulti with an explicit fan-out
 // mode.
 func ReplayStoreMultiMode(ctx context.Context, systems []*System, st *trace.Store, mode FanOut) error {
+	if mode == FanOutAuto {
+		mode = FanOutSequential
+		if runtime.GOMAXPROCS(0) > 1 {
+			mode = FanOutSharded
+			if planShards(st.WindowCount(), 0) > 1 {
+				mode = FanOutWindowed
+			}
+		}
+	}
+	if mode == FanOutWindowed {
+		lastFanOut.Store(int64(len(systems)))
+		return ReplayStoreMultiWindowed(ctx, systems, st, ShardOptions{})
+	}
 	switch len(systems) {
 	case 0:
 		return nil
@@ -96,12 +119,6 @@ func ReplayStoreMultiMode(ctx context.Context, systems []*System, st *trace.Stor
 		return ReplayStore(ctx, systems[0], st)
 	}
 	lastFanOut.Store(int64(len(systems)))
-	if mode == FanOutAuto {
-		mode = FanOutSequential
-		if runtime.GOMAXPROCS(0) > 1 {
-			mode = FanOutSharded
-		}
-	}
 	if mode == FanOutSequential {
 		return replayMultiSequential(ctx, systems, st)
 	}

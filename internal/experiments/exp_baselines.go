@@ -145,7 +145,7 @@ func Baselines(ctx context.Context, opt Options) (*tab.Table, error) {
 	}
 	for _, name := range workload.Names() {
 		size := table1Size(name)
-		sres, err := runConfig(ctx, name, size, opt.Scale, stridedStreams(16))
+		sres, err := runConfig(ctx, name, size, opt, stridedStreams(16))
 		if err != nil {
 			return nil, err
 		}

@@ -44,7 +44,7 @@ func Figure3(ctx context.Context, opt Options) (*tab.Table, error) {
 		for j, streams := range figure3StreamCounts {
 			cfgs[j] = plainStreams(streams)
 		}
-		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale, cfgs)
+		res, err := runConfigs(ctx, name, table1Size(name), opt, cfgs)
 		if err != nil {
 			return err
 		}
@@ -82,7 +82,7 @@ func Figure5(ctx context.Context, opt Options) (*tab.Table, error) {
 	cells := make([]pair, len(names))
 	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
-		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale,
+		res, err := runConfigs(ctx, name, table1Size(name), opt,
 			[]core.Config{plainStreams(10), filteredStreams()})
 		if err != nil {
 			return err
@@ -135,7 +135,7 @@ func Figure8(ctx context.Context, opt Options) (*tab.Table, error) {
 	cells := make([][2]float64, len(names))
 	err := runParallel(ctx, len(names), func(i int) error {
 		name := names[i]
-		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale,
+		res, err := runConfigs(ctx, name, table1Size(name), opt,
 			[]core.Config{filteredStreams(), stridedStreams(16)})
 		if err != nil {
 			return err
@@ -189,7 +189,7 @@ func Figure9(ctx context.Context, opt Options) (*tab.Table, error) {
 		for j, bits := range figure9CzoneBits {
 			cfgs[j] = stridedStreams(bits)
 		}
-		res, err := runConfigs(ctx, name, table1Size(name), opt.Scale, cfgs)
+		res, err := runConfigs(ctx, name, table1Size(name), opt, cfgs)
 		if err != nil {
 			return err
 		}

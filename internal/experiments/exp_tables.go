@@ -33,7 +33,7 @@ func Table1(ctx context.Context, opt Options) (*tab.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := runConfig(ctx, name, size, opt.Scale, noStreams())
+		r, err := runConfig(ctx, name, size, opt, noStreams())
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +57,7 @@ func Table2(ctx context.Context, opt Options) (*tab.Table, error) {
 		Columns: []string{"benchmark", "EB %", "paper EB %", "hit %"},
 	}
 	for _, name := range workload.Names() {
-		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, plainStreams(10))
+		r, err := runConfig(ctx, name, table1Size(name), opt, plainStreams(10))
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +78,7 @@ func Table3(ctx context.Context, opt Options) (*tab.Table, error) {
 		},
 	}
 	for _, name := range workload.Names() {
-		r, err := runConfig(ctx, name, table1Size(name), opt.Scale, plainStreams(10))
+		r, err := runConfig(ctx, name, table1Size(name), opt, plainStreams(10))
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +174,7 @@ func Table4(ctx context.Context, opt Options) (*tab.Table, error) {
 	err := runParallel(ctx, len(cells), func(i int) error {
 		ref := paperTable4[i/len(sizes)]
 		sz := sizes[i%len(sizes)]
-		r, err := runConfig(ctx, ref.Name, sz, opt.Scale, stridedStreams(16))
+		r, err := runConfig(ctx, ref.Name, sz, opt, stridedStreams(16))
 		if err != nil {
 			return err
 		}

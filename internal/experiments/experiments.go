@@ -29,6 +29,13 @@ type Options struct {
 	// Scale is the workload iteration scale in (0, 1]; 1 reproduces
 	// the full traces, smaller values run faster for smoke tests.
 	Scale float64
+	// Shards forces the window-shard count of the hit-rate replays
+	// (core.ShardOptions.Shards): 0 derives the chunk plan from each
+	// trace's window count, 1 forces exact sequential replays. The
+	// timing experiments (extscale, extcpi) ignore it — cycle
+	// accounting is order-dependent, so they always replay
+	// sequentially.
+	Shards int
 	// Streams overrides nothing; experiments fix their own memory
 	// system configurations per the paper.
 }
@@ -144,9 +151,11 @@ func (r *recorded) each(ctx context.Context, fn func(a *mem.Access)) error {
 }
 
 // replay feeds the trace into a memory system through the batched
-// hot path (core.ReplayStore), polling ctx between batches.
-func (r *recorded) replay(ctx context.Context, sys *core.System) error {
-	if err := core.ReplayStore(ctx, sys, r.store); err != nil {
+// hot path, window-sharded across workers when the trace is long
+// enough (core.ReplayStoreWindowed; systems carrying traffic hooks
+// fall back to an exact sequential pass automatically).
+func (r *recorded) replay(ctx context.Context, sys *core.System, opt core.ShardOptions) error {
+	if err := core.ReplayStoreWindowed(ctx, sys, r.store, opt); err != nil {
 		return err
 	}
 	sys.AddInstructions(r.insts)
@@ -155,12 +164,14 @@ func (r *recorded) replay(ctx context.Context, sys *core.System) error {
 }
 
 // replayMulti feeds the trace into every system from one decode per
-// batch via the core fan-out engine. Sequential mode is deliberate:
-// experiments already run benchmarks across the cores (runParallel),
-// so the win here is work elimination — N configs share each decoded
-// 512-reference slice while it is L1-hot — not more goroutines.
-func (r *recorded) replayMulti(ctx context.Context, systems []*core.System) error {
-	if err := core.ReplayStoreMultiMode(ctx, systems, r.store, core.FanOutSequential); err != nil {
+// batch via the window-sharded fan-out engine: N configs share each
+// decoded 512-reference slice while it is L1-hot, and long traces
+// additionally split into window chunks across workers. The chunk
+// plan depends only on the trace and opt, never on the host, so the
+// published numbers are machine-independent; short traces replay
+// exactly as the sequential engine would.
+func (r *recorded) replayMulti(ctx context.Context, systems []*core.System, opt core.ShardOptions) error {
+	if err := core.ReplayStoreMultiWindowed(ctx, systems, r.store, opt); err != nil {
 		return err
 	}
 	for _, sys := range systems {
@@ -319,8 +330,8 @@ func noStreams() core.Config {
 }
 
 // runConfig replays a benchmark trace through a configuration.
-func runConfig(ctx context.Context, name string, size workload.Size, scale float64, cfg core.Config) (core.Results, error) {
-	tr, err := record(ctx, name, size, scale)
+func runConfig(ctx context.Context, name string, size workload.Size, opt Options, cfg core.Config) (core.Results, error) {
+	tr, err := record(ctx, name, size, opt.Scale)
 	if err != nil {
 		return core.Results{}, err
 	}
@@ -328,7 +339,7 @@ func runConfig(ctx context.Context, name string, size workload.Size, scale float
 	if err != nil {
 		return core.Results{}, err
 	}
-	if err := tr.replay(ctx, sys); err != nil {
+	if err := tr.replay(ctx, sys, core.ShardOptions{Shards: opt.Shards}); err != nil {
 		return core.Results{}, err
 	}
 	return sys.Results(), nil
@@ -338,8 +349,8 @@ func runConfig(ctx context.Context, name string, size workload.Size, scale float
 // decoding each batch once for all of them. It is the multi-config
 // analogue of runConfig; each entry of the returned slice is
 // byte-identical to a runConfig call with the same configuration.
-func runConfigs(ctx context.Context, name string, size workload.Size, scale float64, cfgs []core.Config) ([]core.Results, error) {
-	tr, err := record(ctx, name, size, scale)
+func runConfigs(ctx context.Context, name string, size workload.Size, opt Options, cfgs []core.Config) ([]core.Results, error) {
+	tr, err := record(ctx, name, size, opt.Scale)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +360,7 @@ func runConfigs(ctx context.Context, name string, size workload.Size, scale floa
 			return nil, err
 		}
 	}
-	if err := tr.replayMulti(ctx, systems); err != nil {
+	if err := tr.replayMulti(ctx, systems, core.ShardOptions{Shards: opt.Shards}); err != nil {
 		return nil, err
 	}
 	res := make([]core.Results, len(systems))

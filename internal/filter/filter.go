@@ -73,6 +73,29 @@ func (f *UnitStride) Size() int { return len(f.entries) }
 // Stats returns a copy of the accumulated statistics.
 func (f *UnitStride) Stats() UnitStrideStats { return f.stats }
 
+// ResetStats clears the counters without disturbing the history.
+func (f *UnitStride) ResetStats() { f.stats = UnitStrideStats{} }
+
+// SetStats overwrites the statistics wholesale; the window-sharded
+// replay engine restores accumulated counters onto adopted state.
+func (f *UnitStride) SetStats(s UnitStrideStats) { f.stats = s }
+
+// AddStats accumulates another filter's counters into this one.
+func (f *UnitStride) AddStats(s UnitStrideStats) {
+	f.stats.Lookups += s.Lookups
+	f.stats.Hits += s.Hits
+	f.stats.Inserts += s.Inserts
+	f.stats.Evictions += s.Evictions
+}
+
+// Clone returns a deep copy of the filter; the clone evolves
+// independently of the original.
+func (f *UnitStride) Clone() *UnitStride {
+	n := *f
+	n.entries = append([]unitEntry(nil), f.entries...)
+	return &n
+}
+
 // Lookup presents a block address that missed both the primary cache
 // and the streams. It returns true when the miss completes a
 // consecutive pair (block-1 missed recently): the caller should
@@ -220,6 +243,30 @@ func (f *NonUnitStride) SetCzoneBits(bits uint) error {
 // Stats returns a copy of the accumulated statistics.
 func (f *NonUnitStride) Stats() NonUnitStrideStats { return f.stats }
 
+// ResetStats clears the counters without disturbing the partitions.
+func (f *NonUnitStride) ResetStats() { f.stats = NonUnitStrideStats{} }
+
+// SetStats overwrites the statistics wholesale; the window-sharded
+// replay engine restores accumulated counters onto adopted state.
+func (f *NonUnitStride) SetStats(s NonUnitStrideStats) { f.stats = s }
+
+// AddStats accumulates another detector's counters into this one.
+func (f *NonUnitStride) AddStats(s NonUnitStrideStats) {
+	f.stats.Observations += s.Observations
+	f.stats.Allocations += s.Allocations
+	f.stats.Inserts += s.Inserts
+	f.stats.Evictions += s.Evictions
+	f.stats.StrideChanges += s.StrideChanges
+}
+
+// Clone returns a deep copy of the detector; the clone evolves
+// independently of the original.
+func (f *NonUnitStride) Clone() *NonUnitStride {
+	n := *f
+	n.entries = append([]nonUnitEntry(nil), f.entries...)
+	return &n
+}
+
 // tag extracts the partition tag (the word-address bits above the
 // czone) of a word address.
 func (f *NonUnitStride) tag(word mem.Addr) mem.Addr {
@@ -346,6 +393,28 @@ func NewMinDelta(size int, maxDelta int64) (*MinDelta, error) {
 
 // Stats returns a copy of the accumulated statistics.
 func (f *MinDelta) Stats() MinDeltaStats { return f.stats }
+
+// ResetStats clears the counters without disturbing the history.
+func (f *MinDelta) ResetStats() { f.stats = MinDeltaStats{} }
+
+// SetStats overwrites the statistics wholesale; the window-sharded
+// replay engine restores accumulated counters onto adopted state.
+func (f *MinDelta) SetStats(s MinDeltaStats) { f.stats = s }
+
+// AddStats accumulates another scheme's counters into this one.
+func (f *MinDelta) AddStats(s MinDeltaStats) {
+	f.stats.Observations += s.Observations
+	f.stats.Allocations += s.Allocations
+}
+
+// Clone returns a deep copy of the scheme; the clone evolves
+// independently of the original.
+func (f *MinDelta) Clone() *MinDelta {
+	n := *f
+	n.history = append([]mem.Addr(nil), f.history...)
+	n.valid = append([]bool(nil), f.valid...)
+	return &n
+}
 
 // Observe presents a miss word address and returns a stride when one
 // can be derived: the signed delta to the nearest history entry. The

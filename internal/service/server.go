@@ -116,6 +116,7 @@ func (s *Server) initMetrics() {
 	gauge("trace_cache_hits", func() any { return experiments.TraceCacheHits() })
 	gauge("refs_replayed_total", func() any { return experiments.ReplayedRefs() })
 	gauge("replay_fanout_width", func() any { return core.LastFanOutWidth() })
+	gauge("replay_window_shards", func() any { return core.LastWindowShards() })
 	gauge("refs_per_sec", func() any {
 		up := now().Sub(s.start).Seconds()
 		if up <= 0 {

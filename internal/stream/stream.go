@@ -410,6 +410,38 @@ func (s *Set) Stats() Stats { return s.stats }
 // ResetStats clears counters without disturbing stream contents.
 func (s *Set) ResetStats() { s.stats = Stats{} }
 
+// AddStats accumulates another set's counters into this one (the
+// window-sharded replay engine merges per-chunk deltas this way).
+func (s *Set) AddStats(o Stats) { s.stats = s.stats.Add(o) }
+
+// SetStats overwrites the statistics wholesale; the window-sharded
+// replay engine restores a caller's accumulated counters onto an
+// adopted final-chunk state with it.
+func (s *Set) SetStats(o Stats) { s.stats = o }
+
+// clone returns a deep copy of one buffer: same geometry and policy,
+// fresh FIFO storage, identical allocation state and clocks.
+func (b *Buffer) clone() *Buffer {
+	n := *b
+	n.fifo = append([]slot(nil), b.fifo...)
+	return &n
+}
+
+// Clone returns a deep copy of the set — every buffer's FIFO and
+// address-generation state, the cached head tags, the reference clock
+// and the statistics. The clone evolves independently of the original.
+// The OnPrefetch hook, if any, is shared with the original: callers
+// that clone for concurrent replay must not configure one.
+func (s *Set) Clone() *Set {
+	n := *s
+	n.bufs = make([]*Buffer, len(s.bufs))
+	for i, b := range s.bufs {
+		n.bufs[i] = b.clone()
+	}
+	n.heads = append([]mem.Addr(nil), s.heads...)
+	return &n
+}
+
 // ProbeResult reports what one probe did, so callers layering timing
 // models on top (core.Outcome) can account incrementally instead of
 // diffing full Stats copies around every access.

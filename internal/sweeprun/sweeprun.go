@@ -212,9 +212,11 @@ func runPoints(ctx context.Context, s Spec, tr *trace.Store, cfgs []core.Config,
 	// multi-config fan-out: the trace decodes once for all points, and
 	// for parameters that leave the L1 untouched (streams, depth,
 	// filter, czone, latency) the L1 front end simulates once with
-	// every point replaying only its own stream-side events
-	// (core.ReplayStoreMulti). Results are identical to per-point
-	// replays either way.
+	// every point replaying only its own stream-side events. Both this
+	// path and the per-point workers below replay through the
+	// window-sharded engine with identical (zero) options, so the chunk
+	// plan — a function of the trace alone — and therefore the values
+	// are identical at any Parallel width.
 	if s.Metric != "cpi" && s.Parallel <= 1 {
 		return runPointsFanOut(ctx, s, tr, cfgs, values)
 	}
@@ -260,8 +262,8 @@ func runPoints(ctx context.Context, s Spec, tr *trace.Store, cfgs []core.Config,
 	return ctx.Err()
 }
 
-// runPointsFanOut measures every point in one multi-config replay on
-// the caller's goroutine. Only the hit-rate family routes here: the
+// runPointsFanOut measures every point in one multi-config
+// window-sharded replay. Only the hit-rate family routes here: the
 // cpi metric replays through the timing model, which is not a
 // core.System and cannot join a fan-out.
 func runPointsFanOut(ctx context.Context, s Spec, tr *trace.Store, cfgs []core.Config, values []float64) error {
@@ -273,7 +275,7 @@ func runPointsFanOut(ctx context.Context, s Spec, tr *trace.Store, cfgs []core.C
 		}
 		systems[i] = sys
 	}
-	if err := core.ReplayStoreMultiMode(ctx, systems, tr, core.FanOutSequential); err != nil {
+	if err := core.ReplayStoreMultiWindowed(ctx, systems, tr, core.ShardOptions{}); err != nil {
 		return err
 	}
 	for i, sys := range systems {
@@ -335,7 +337,7 @@ func measurePoint(ctx context.Context, tr *trace.Store, cfg core.Config, metric 
 		if err != nil {
 			return 0, err
 		}
-		if err := core.ReplayStore(ctx, sys, tr); err != nil {
+		if err := core.ReplayStoreWindowed(ctx, sys, tr, core.ShardOptions{}); err != nil {
 			return 0, err
 		}
 		sys.AddInstructions(tr.Instructions())

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"streamsim/internal/mem"
 )
@@ -49,6 +50,36 @@ type Store struct {
 	tick   uint64
 	lastPC [3]uint64 // previous PC per kind
 	err    error
+
+	// marks[w] is the decoder state at the first access of window w+1,
+	// snapshotted by Append as the trace is encoded (see windowMark).
+	// scanMarks and scanOnce serve stores that lack append-time marks:
+	// one sequential decode rebuilds the same index, memoized.
+	marks     []windowMark
+	scanMarks []windowMark
+	scanOnce  sync.Once
+}
+
+// WindowRefs is the number of stored references per window of the seek
+// index. It equals DefaultOnRefs so that, when a trace is recorded
+// through a TimeSampler with the paper's parameters, each index window
+// is exactly one of the sampler's on-phase bursts: the off-phase
+// references never reach the Store, so store windows and sampler
+// windows share their boundaries by construction.
+const WindowRefs = DefaultOnRefs
+
+// windowMark is one entry of the window seek index: the complete
+// decoder state at a window's first access. The encoder updates its
+// rings with exactly the rule every decoder applies, so snapshotting
+// the encoder state after k appends yields the state any iterator
+// reaches after decoding k accesses — which is what makes an O(1) seek
+// possible in a delta-coded stream.
+type windowMark struct {
+	pos     int // byte offset into Store.addr
+	pcPos   int // byte offset into Store.pc
+	excNext int // entries of Store.sizes consumed
+	rings   [ringSlots]ringState
+	lastPC  [3]uint64
 }
 
 // ringsPerKind is how many reference streams the encoder tracks per
@@ -206,6 +237,15 @@ func (s *Store) Append(a mem.Access) {
 		s.sizes = append(s.sizes, sizeException{idx: s.n, size: a.Size})
 	}
 	s.n++
+	if s.n%WindowRefs == 0 {
+		s.marks = append(s.marks, windowMark{
+			pos:     len(s.addr),
+			pcPos:   len(s.pc),
+			excNext: len(s.sizes),
+			rings:   s.rings,
+			lastPC:  s.lastPC,
+		})
+	}
 }
 
 // AppendBatch encodes a batch of accesses in order. The batch is the
@@ -262,6 +302,94 @@ func (s *Store) Err() error { return s.err }
 // iterators over one Store are independent.
 func (s *Store) Iter() StoreIter {
 	return StoreIter{s: s}
+}
+
+// WindowCount returns the number of seek-index windows covering the
+// trace: ceil(Len/WindowRefs). The final window may be short.
+func (s *Store) WindowCount() int {
+	return (s.n + WindowRefs - 1) / WindowRefs
+}
+
+// WindowLen returns the number of accesses in window w.
+func (s *Store) WindowLen(w int) int {
+	start := w * WindowRefs
+	if rest := s.n - start; rest < WindowRefs {
+		return rest
+	}
+	return WindowRefs
+}
+
+// WindowOffsets returns, for each window, the byte offset into the
+// address stream at which its records begin. Offsets come from the
+// append-time index; a store without one (or with a stale one) pays a
+// single sequential decode scan, memoized for the store's lifetime.
+// Like the iterators, it must only be called on a quiescent store.
+func (s *Store) WindowOffsets() []int {
+	marks := s.windowMarks()
+	offs := make([]int, s.WindowCount())
+	for w := 1; w < len(offs); w++ {
+		offs[w] = marks[w-1].pos
+	}
+	return offs
+}
+
+// IterAtWindow returns an iterator positioned at the first access of
+// window w in [0, WindowCount()). The seek is O(1) when the store
+// carries its append-time index. An iterator obtained here decodes
+// identically to one that consumed the preceding windows itself.
+func (s *Store) IterAtWindow(w int) StoreIter {
+	if w == 0 {
+		return s.Iter()
+	}
+	m := &s.windowMarks()[w-1]
+	return StoreIter{
+		s:       s,
+		i:       w * WindowRefs,
+		pos:     m.pos,
+		pcPos:   m.pcPos,
+		excNext: m.excNext,
+		rings:   m.rings,
+		lastPC:  m.lastPC,
+	}
+}
+
+// windowMarks returns the seek index, preferring the marks Append
+// recorded and falling back to one memoized scan of the trace.
+func (s *Store) windowMarks() []windowMark {
+	if full := s.n / WindowRefs; len(s.marks) >= full {
+		return s.marks
+	}
+	s.scanOnce.Do(func() { s.scanMarks = s.buildWindowIndex() })
+	return s.scanMarks
+}
+
+// buildWindowIndex reconstructs the window seek index by decoding the
+// trace once, snapshotting the iterator state at every window
+// boundary. It produces exactly the marks Append would have recorded:
+// the iterator replicates the encoder's ring updates step for step.
+func (s *Store) buildWindowIndex() []windowMark {
+	marks := make([]windowMark, 0, s.n/WindowRefs)
+	buf := make([]mem.Access, ReplayBatchLen)
+	it := s.Iter()
+	for target := WindowRefs; target <= s.n; target += WindowRefs {
+		for it.i < target {
+			b := buf
+			if rest := target - it.i; rest < len(b) {
+				b = b[:rest]
+			}
+			if it.Next(b) == 0 {
+				break
+			}
+		}
+		marks = append(marks, windowMark{
+			pos:     it.pos,
+			pcPos:   it.pcPos,
+			excNext: it.excNext,
+			rings:   it.rings,
+			lastPC:  it.lastPC,
+		})
+	}
+	return marks
 }
 
 // StoreIter decodes a Store back into mem.Access values in batches.

@@ -28,8 +28,14 @@ import (
 const (
 	// Magic identifies a stream trace file.
 	Magic = "STRB"
-	// Version is the current format version.
-	Version = 1
+	// Version is the current format version. Version 2 adds window
+	// marker records (an instruction record with a zero count, one per
+	// WindowRefs accesses) so a file carries the same window structure
+	// the in-memory Store index exposes; version 1 files contain no
+	// markers and decode unchanged.
+	Version = 2
+	// minVersion is the oldest format Reader still accepts.
+	minVersion = 1
 )
 
 // record tags: low two bits of the first varint carry the kind.
@@ -67,6 +73,7 @@ type Writer struct {
 	last   [3]uint64 // previous address per kind
 	err    error
 	events uint64
+	accs   uint64 // access records written, for window markers
 }
 
 // NewWriter starts a trace on w, writing the header immediately.
@@ -108,6 +115,11 @@ func (t *Writer) Access(a mem.Access) {
 	zz &= uint64(MaxAddr) // 62 significant bits
 	t.putUvarint(zz<<2 | uint64(kind))
 	t.events++
+	if t.accs++; t.accs%WindowRefs == 0 {
+		// Window marker: an instruction record with a zero count, which
+		// version 1 could never produce (AddInstructions drops zeros).
+		t.putUvarint(tagInsts)
+	}
 }
 
 // AccessBatch encodes a batch of references in order, satisfying
@@ -146,10 +158,12 @@ func (t *Writer) Flush() error {
 	return t.w.Flush()
 }
 
-// Reader decodes a trace produced by Writer.
+// Reader decodes a trace produced by Writer (any version back to
+// minVersion).
 type Reader struct {
-	r    *bufio.Reader
-	last [3]uint64
+	r       *bufio.Reader
+	last    [3]uint64
+	windows uint64
 }
 
 // NewReader validates the header and returns a reader positioned at
@@ -163,13 +177,18 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(head[:len(Magic)]) != Magic {
 		return nil, errors.New("trace: bad magic (not a stream trace file)")
 	}
-	if v := binary.LittleEndian.Uint16(head[len(Magic):]); v != Version {
+	if v := binary.LittleEndian.Uint16(head[len(Magic):]); v < minVersion || v > Version {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 	return &Reader{r: br}, nil
 }
 
-// Next decodes one event. It returns io.EOF at end of trace.
+// Windows returns the number of window markers decoded so far (always
+// zero for a version 1 trace).
+func (t *Reader) Windows() uint64 { return t.windows }
+
+// Next decodes one event. It returns io.EOF at end of trace. Window
+// markers are counted and skipped transparently.
 func (t *Reader) Next() (Event, error) {
 	v, err := binary.ReadUvarint(t.r)
 	if err != nil {
@@ -177,6 +196,15 @@ func (t *Reader) Next() (Event, error) {
 			return Event{}, io.EOF
 		}
 		return Event{}, fmt.Errorf("trace: decoding record: %w", err)
+	}
+	for v == tagInsts { // zero-count instruction record: window marker
+		t.windows++
+		if v, err = binary.ReadUvarint(t.r); err != nil {
+			if err == io.EOF {
+				return Event{}, io.EOF
+			}
+			return Event{}, fmt.Errorf("trace: decoding record: %w", err)
+		}
 	}
 	tag := v & 3
 	body := v >> 2
@@ -293,12 +321,14 @@ func (t *Reader) ReplayContext(ctx context.Context, sink Sink) error {
 // off phase too, so sampled MPI stays meaningful. The paper samples
 // 10,000 on / 90,000 off.
 type TimeSampler struct {
-	sink    Sink
-	onRefs  uint64
-	offRefs uint64
-	pos     uint64 // position within the on+off cycle
-	dropped uint64
-	passed  uint64
+	sink     Sink
+	onRefs   uint64
+	offRefs  uint64
+	pos      uint64 // position within the on+off cycle
+	dropped  uint64
+	passed   uint64
+	windows  uint64
+	onWindow func(window uint64)
 }
 
 // Paper's Section 4.1 sampling parameters.
@@ -318,6 +348,12 @@ func NewTimeSampler(sink Sink, onRefs, offRefs uint64) (*TimeSampler, error) {
 
 // Access forwards or drops one reference according to the cycle.
 func (s *TimeSampler) Access(a mem.Access) {
+	if s.pos == 0 {
+		s.windows++
+		if s.onWindow != nil {
+			s.onWindow(s.windows - 1)
+		}
+	}
 	inOn := s.pos < s.onRefs
 	s.pos++
 	if s.pos == s.onRefs+s.offRefs {
@@ -343,3 +379,14 @@ func (s *TimeSampler) Passed() uint64 { return s.passed }
 
 // Dropped returns the number of references suppressed.
 func (s *TimeSampler) Dropped() uint64 { return s.dropped }
+
+// Windows returns the number of on-phase sample windows begun. When
+// the sampler feeds a Store and onRefs is DefaultOnRefs, this equals
+// the store's WindowCount: only on-phase references reach the store,
+// so every sampler window starts exactly at a store window boundary.
+func (s *TimeSampler) Windows() uint64 { return s.windows }
+
+// SetWindowFunc registers fn to run at each window boundary, before
+// the window's first reference is presented; fn receives the zero-based
+// window number. A nil fn removes the callback.
+func (s *TimeSampler) SetWindowFunc(fn func(window uint64)) { s.onWindow = fn }

@@ -68,6 +68,29 @@ func (c *Cache) Size() int { return len(c.entries) }
 // Stats returns a copy of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// ResetStats clears the counters without disturbing the entries.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetStats overwrites the statistics wholesale; the window-sharded
+// replay engine restores accumulated counters onto adopted state.
+func (c *Cache) SetStats(s Stats) { c.stats = s }
+
+// AddStats accumulates another victim cache's counters into this one.
+func (c *Cache) AddStats(s Stats) {
+	c.stats.Probes += s.Probes
+	c.stats.Hits += s.Hits
+	c.stats.Inserts += s.Inserts
+	c.stats.WriteBacks += s.WriteBacks
+}
+
+// Clone returns a deep copy of the victim cache; the clone evolves
+// independently of the original.
+func (c *Cache) Clone() *Cache {
+	n := *c
+	n.entries = append([]entry(nil), c.entries...)
+	return &n
+}
+
 // Probe looks up a block after an L1 miss. On a hit the entry is
 // removed (the line moves back into the L1) and its dirty state is
 // returned so the L1 can re-mark it.
