@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-baseline lint-fixtures vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update sweep-smoke paper quick examples serve service-smoke clean
+.PHONY: all build test lint lint-baseline lint-fixtures vet race fuzz fuzz-smoke bench bench-smoke bench-check bench-update sweep-smoke optimize-smoke paper quick examples serve service-smoke clean
 
 all: build lint test
 
@@ -99,6 +99,21 @@ sweep-smoke:
 	$(GO) run ./cmd/sweep $(SWEEP_SMOKE_ARGS) -parallel 0 > sweep-parallel.out
 	cmp sweep-serial.out sweep-parallel.out
 	rm -f sweep-serial.out sweep-parallel.out
+
+# optimize-smoke is the config-space optimizer gate: on a space small
+# enough to enumerate, seeded successive halving must converge on the
+# same winner the exhaustive grid finds, and a repeated seeded run (at
+# a different -parallel width) must be byte-identical.
+OPTIMIZE_SMOKE_ARGS = -optimize -workload mgrid -space 'streams=1,2,4,8' -budget 16 -seed 3 -scale 0.1
+optimize-smoke:
+	$(GO) run ./cmd/sweep $(OPTIMIZE_SMOKE_ARGS) -strategy grid > optimize-grid.out
+	$(GO) run ./cmd/sweep $(OPTIMIZE_SMOKE_ARGS) -strategy halving -parallel 1 > optimize-halving.out
+	$(GO) run ./cmd/sweep $(OPTIMIZE_SMOKE_ARGS) -strategy halving -parallel 0 > optimize-again.out
+	cmp optimize-halving.out optimize-again.out
+	grep '^winner:' optimize-grid.out > optimize-grid.winner
+	grep '^winner:' optimize-halving.out > optimize-halving.winner
+	cmp optimize-grid.winner optimize-halving.winner
+	rm -f optimize-grid.out optimize-halving.out optimize-again.out optimize-grid.winner optimize-halving.winner
 
 # serve runs the simd job-service daemon (SIGINT/SIGTERM drain
 # gracefully; see cmd/simd and internal/service).

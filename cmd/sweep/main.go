@@ -14,6 +14,17 @@
 // Parameters: streams, depth, filter, czone, assoc, victim, latency.
 // Metrics: hit (stream hit rate %), eb (extra bandwidth %),
 // missrate (L1D miss %), cpi (effective CPI under default latencies).
+//
+// With -optimize the command searches a multi-dimensional space
+// (internal/search) instead of sweeping one parameter, and answers
+// the paper's cost-effectiveness questions:
+//
+//	sweep -optimize -workload mgrid -space 'streams=1,2,4,8;depth=1,2' -budget 32
+//	sweep -optimize -workload mgrid -space 'streams=1,2,4,8' -strategy pareto \
+//	      -constraint 'eb<=30' -seed 7
+//
+// Optimizer output is bit-reproducible for a fixed -seed at any
+// -parallel width.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 
 	"streamsim/internal/plot"
 	"streamsim/internal/profiling"
+	"streamsim/internal/search"
 	"streamsim/internal/sweeprun"
 )
 
@@ -57,7 +69,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		plotIt = fs.Bool("plot", false, "render the sweep as an ASCII chart")
 		cpupr  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mempr  = fs.String("memprofile", "", "write a heap profile to this file")
+
+		optimize = fs.Bool("optimize", false, "search a multi-dimensional config space instead of sweeping one parameter")
+		space    = fs.String("space", "", "optimizer space: 'param=v1,v2,...;param=...' (see -param for names)")
+		strategy = fs.String("strategy", "halving", "optimizer strategy: halving, pareto or grid")
+		seed     = fs.Int64("seed", 1, "optimizer sampling seed; a fixed seed is bit-reproducible at any -parallel width")
+		budget   = fs.Int("budget", 256, "optimizer evaluation budget")
 	)
+	var constraints []search.Constraint
+	fs.Func("constraint", "optimizer winner constraint 'metric<=value' or 'metric>=value' over hit, eb, missrate or cost (repeatable)", func(v string) error {
+		c, err := search.ParseConstraint(v)
+		if err != nil {
+			return err
+		}
+		constraints = append(constraints, c)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +97,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 			err = perr
 		}
 	}()
+	if *optimize {
+		parallel := *par
+		if parallel == 0 {
+			parallel = runtime.GOMAXPROCS(0)
+		}
+		if parallel < 0 {
+			return fmt.Errorf("-parallel must be >= 0")
+		}
+		return runOptimize(ctx, optimizeArgs{
+			workload: *name, size: *sizeS, scale: *scale, metric: *metric,
+			space: *space, strategy: *strategy, seed: *seed, budget: *budget,
+			constraints: constraints, parallel: parallel,
+		}, stdout, stderr)
+	}
 	if *name == "" || *param == "" || *values == "" {
 		return fmt.Errorf("-workload, -param and -values are required")
 	}
@@ -116,4 +157,69 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		fmt.Fprint(stdout, chart.Render())
 	}
 	return nil
+}
+
+// optimizeArgs carries the parsed -optimize flags.
+type optimizeArgs struct {
+	workload, size, metric string
+	space, strategy        string
+	scale                  float64
+	seed                   int64
+	budget, parallel       int
+	constraints            []search.Constraint
+}
+
+// runOptimize executes the optimizer mode: the front table and winner
+// line go to stdout (bit-reproducible for a fixed seed), generation
+// progress to stderr.
+func runOptimize(ctx context.Context, a optimizeArgs, stdout, stderr io.Writer) error {
+	if a.workload == "" || a.space == "" {
+		return fmt.Errorf("-workload and -space are required with -optimize")
+	}
+	dims, err := parseSpace(a.space)
+	if err != nil {
+		return err
+	}
+	spec := search.Spec{
+		Workload: a.workload, Size: a.size, Scale: a.scale, Metric: a.metric,
+		Space: dims, Strategy: a.strategy, Budget: a.budget, Seed: a.seed,
+		Constraints: a.constraints, Parallel: a.parallel,
+	}
+	res, err := search.RunProgress(ctx, spec, func(p search.Progress) {
+		fmt.Fprintf(stderr, "gen %d: %d/%d evals, front %d\n", p.Generation, p.Evals, p.Budget, p.FrontSize)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, res.Table().Render())
+	fmt.Fprintln(stdout, res.Summary())
+	return nil
+}
+
+// parseSpace parses 'param=v1,v2;param=v3,v4' into dimensions.
+func parseSpace(s string) ([]search.Dim, error) {
+	var dims []search.Dim
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, list, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad space dimension %q: want param=v1,v2,...", part)
+		}
+		d := search.Dim{Param: strings.TrimSpace(name)}
+		for _, vs := range strings.Split(list, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(vs))
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in dimension %q: %w", vs, d.Param, err)
+			}
+			d.Values = append(d.Values, v)
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("-space is empty")
+	}
+	return dims, nil
 }

@@ -151,6 +151,91 @@ func TestMissRateMetricAndSizeFlag(t *testing.T) {
 	}
 }
 
+func TestDuplicateValuesRejected(t *testing.T) {
+	_, err := doRun(t, "-workload", "is", "-param", "streams",
+		"-values", "1,4,4", "-scale", "0.05")
+	if err == nil || !strings.Contains(err.Error(), "duplicate value 4") {
+		t.Fatalf("duplicate -values should fail clearly, got %v", err)
+	}
+}
+
+func TestOptimizeMode(t *testing.T) {
+	args := []string{"-optimize", "-workload", "is", "-scale", "0.05",
+		"-space", "streams=1,4,8;depth=1,2", "-budget", "12", "-seed", "3"}
+	out, err := doRun(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "winner: streams=") {
+		t.Errorf("winner line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "optimize hit over streams,depth (halving)") {
+		t.Errorf("front table title missing:\n%s", out)
+	}
+	// Bit-reproducible for a fixed seed, at any -parallel width.
+	for _, extra := range [][]string{nil, {"-parallel", "3"}, {"-parallel", "0"}} {
+		got, err := doRun(t, append(append([]string{}, args...), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != out {
+			t.Errorf("output diverged with %v:\n%s\nvs\n%s", extra, got, out)
+		}
+	}
+	// A different seed is a different (but still valid) run.
+	reseeded, err := doRun(t, append(append([]string{}, args...), "-seed", "99")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reseeded, "winner:") {
+		t.Errorf("reseeded run lost the winner line:\n%s", reseeded)
+	}
+}
+
+func TestOptimizeConstraintFlag(t *testing.T) {
+	out, err := doRun(t, "-optimize", "-workload", "is", "-scale", "0.05",
+		"-space", "streams=1,8", "-strategy", "grid", "-budget", "2",
+		"-constraint", "cost<=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "winner: none") {
+		t.Errorf("unsatisfiable constraint should yield no winner:\n%s", out)
+	}
+	if !strings.Contains(out, "constraint: cost<=0.5") {
+		t.Errorf("constraint note missing:\n%s", out)
+	}
+}
+
+func TestOptimizeFlagValidation(t *testing.T) {
+	if _, err := doRun(t, "-optimize", "-workload", "is"); err == nil {
+		t.Fatal("missing -space should fail")
+	}
+	if _, err := doRun(t, "-optimize", "-space", "streams=1,2"); err == nil {
+		t.Fatal("missing -workload should fail")
+	}
+	if _, err := doRun(t, "-optimize", "-workload", "is",
+		"-space", "streams"); err == nil {
+		t.Fatal("malformed -space should fail")
+	}
+	if _, err := doRun(t, "-optimize", "-workload", "is",
+		"-space", "streams=1,two"); err == nil {
+		t.Fatal("non-integer space value should fail")
+	}
+	if _, err := doRun(t, "-optimize", "-workload", "is",
+		"-space", "streams=1,1"); err == nil {
+		t.Fatal("duplicate space value should fail")
+	}
+	if _, err := doRun(t, "-optimize", "-workload", "is",
+		"-space", "streams=1,2", "-constraint", "eb=30"); err == nil {
+		t.Fatal("malformed -constraint should fail")
+	}
+	if _, err := doRun(t, "-optimize", "-workload", "is",
+		"-space", "streams=1,2", "-metric", "cpi", "-scale", "0.05"); err == nil {
+		t.Fatal("cpi is not an optimizer objective and should fail")
+	}
+}
+
 func TestParallelFlagMatchesSequential(t *testing.T) {
 	seq, err := doRun(t, "-workload", "is", "-param", "streams",
 		"-values", "1,4,10", "-scale", "0.05")

@@ -17,7 +17,9 @@ import (
 // `//simlint:deterministic <function>` directive naming the
 // result-producing root it exercises, in types.Func.FullName form.
 var detGateFiles = []string{
+	"internal/core/replay_prefix_test.go",
 	"internal/core/replay_window_test.go",
+	"internal/search/search_test.go",
 	"internal/service/golden_test.go",
 	"internal/sweeprun/sweeprun_test.go",
 	"internal/trace/store_test.go",

@@ -1,0 +1,84 @@
+// Prefix replay for the config-space optimizer: evaluate a whole
+// generation of candidate systems on only the first few sample windows
+// of a recorded trace. Successive halving (internal/search) scores
+// cheap early rungs this way — one decode pass feeds every candidate,
+// with the shared-front tap when the configurations allow it — and
+// re-evaluates survivors on progressively longer prefixes, so most of
+// the budget is spent decoding short prefixes instead of full traces.
+package core
+
+import (
+	"context"
+
+	"streamsim/internal/trace"
+)
+
+// ReplayStoreMultiPrefix replays the first windows sample windows of a
+// recorded trace through every system, decoding each batch exactly
+// once. windows <= 0 or >= the trace's window count replays the whole
+// trace. The replay is sequential and exact: each system observes
+// precisely the access stream a solo ReplayStore over the same prefix
+// would deliver, on any host, so prefix scores are machine-independent
+// and identical no matter how candidates are grouped into generations.
+// On cancellation every system has consumed a prefix of the prefix and
+// ctx.Err() is returned.
+//
+//simlint:deterministic
+func ReplayStoreMultiPrefix(ctx context.Context, systems []*System, st *trace.Store, windows int) error {
+	if len(systems) == 0 {
+		return nil
+	}
+	refs := st.Len()
+	if windows > 0 && windows < st.WindowCount() {
+		refs = 0
+		for w := 0; w < windows; w++ {
+			refs += st.WindowLen(w)
+		}
+	}
+	done := ctx.Done()
+	buf := make([]uint64, trace.ReplayBatchLen)
+	it := st.Iter()
+	var leader *System
+	var followers []*System
+	if len(systems) > 1 && sharedFront(systems) {
+		leader, followers = systems[0], systems[1:]
+		leader.tap = make([]uint64, 0, trace.ReplayBatchLen)
+		defer func() {
+			// Followers adopt the shared-front statistics on every exit,
+			// so a cancelled replay still leaves each system describing
+			// the same consumed prefix.
+			for _, sys := range followers {
+				sys.adoptFrontStats(leader)
+			}
+			leader.tap = nil
+		}()
+	}
+	for refs > 0 {
+		b := buf
+		if refs < len(b) {
+			b = b[:refs]
+		}
+		n := it.NextPacked(b)
+		if n == 0 {
+			return nil
+		}
+		if leader != nil {
+			leader.tap = leader.tap[:0]
+			leader.AccessPacked(b[:n])
+			for _, sys := range followers {
+				sys.applyTap(leader.tap)
+			}
+		} else {
+			for _, sys := range systems {
+				sys.AccessPacked(b[:n])
+			}
+		}
+		refs -= n
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}

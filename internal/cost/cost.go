@@ -15,6 +15,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Prices are circa-1994 list prices, normalized so only ratios matter.
@@ -111,6 +112,61 @@ func (p Prices) EqualCostBandwidth(reference, streamNode Node) (Node, error) {
 	}
 	streamNode.BandwidthMBps = budget / p.PerMBps
 	return streamNode, nil
+}
+
+// Point is one (performance, price) outcome on the paper's
+// cost-effectiveness plane: Metric is the figure of merit (higher is
+// better — callers minimizing a metric negate it first) and Cost the
+// node price.
+type Point struct {
+	// Metric is the performance axis, higher better.
+	Metric float64
+	// Cost is the price axis, lower better.
+	Cost float64
+}
+
+// Dominates reports whether p is at least as good as q on both axes
+// and strictly better on at least one.
+func (p Point) Dominates(q Point) bool {
+	return p.Metric >= q.Metric && p.Cost <= q.Cost &&
+		(p.Metric > q.Metric || p.Cost < q.Cost)
+}
+
+// Front returns the indices of the Pareto-optimal points — those no
+// other point dominates — sorted by ascending cost, then descending
+// metric, then ascending index. The result is deterministic: exact
+// (metric, cost) duplicates keep only the lowest-index point, so two
+// calls over the same slice (and any evaluation order that produced
+// it) return identical fronts.
+func Front(pts []Point) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.Cost != pb.Cost {
+			return pa.Cost < pb.Cost
+		}
+		if pa.Metric != pb.Metric {
+			return pa.Metric > pb.Metric
+		}
+		return order[a] < order[b]
+	})
+	var front []int
+	best := math.Inf(-1) // best metric seen at any cheaper-or-equal cost
+	for _, i := range order {
+		p := pts[i]
+		// Walking in cost order, a point joins the front iff it strictly
+		// improves on every cheaper point's metric. Within one cost tier
+		// the sort puts the best metric (lowest index on exact ties)
+		// first, so equal-metric duplicates are skipped here.
+		if p.Metric > best {
+			front = append(front, i)
+			best = p.Metric
+		}
+	}
+	return front
 }
 
 // BusBlockCycles converts a node's bandwidth into the timing model's

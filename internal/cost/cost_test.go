@@ -103,6 +103,107 @@ func TestBusBlockCyclesFloor(t *testing.T) {
 	}
 }
 
+// TestFrontParetoDominance is the Pareto-dominance property over a
+// small config grid: price every (streams, filtered, L2KB) node at a
+// fixed bandwidth, attach a synthetic concave hit-rate metric, and
+// check the front invariants — no returned point is dominated, every
+// excluded point is dominated by (or exactly duplicates, at a higher
+// index) a returned one, the front is sorted by ascending cost, and
+// two calls return identical slices.
+func TestFrontParetoDominance(t *testing.T) {
+	p := DefaultPrices()
+	var pts []Point
+	for _, streams := range []int{0, 2, 4, 8, 16} {
+		for _, filtered := range []bool{false, true} {
+			for _, l2 := range []uint{0, 256, 1024} {
+				n := Node{L2KB: l2, Streams: streams, Filtered: filtered, BandwidthMBps: 300}
+				c, err := p.Cost(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Synthetic but plausible metric: hit rate grows
+				// concavely with streams and L2 capacity, filters add a
+				// point — enough structure that the front is neither
+				// everything nor one point.
+				metric := 40*(1-1/float64(streams+1)) + 30*(1-1/(float64(l2)/256+1))
+				if filtered {
+					metric++
+				}
+				pts = append(pts, Point{Metric: metric, Cost: c})
+			}
+		}
+	}
+
+	front := Front(pts)
+	if len(front) == 0 || len(front) == len(pts) {
+		t.Fatalf("degenerate front of %d points over %d configs", len(front), len(pts))
+	}
+	onFront := make(map[int]bool, len(front))
+	for k, i := range front {
+		onFront[i] = true
+		if k > 0 && pts[front[k-1]].Cost > pts[i].Cost {
+			t.Errorf("front not sorted by cost: %v before %v", pts[front[k-1]], pts[i])
+		}
+	}
+	for _, i := range front {
+		for j := range pts {
+			if j != i && pts[j].Dominates(pts[i]) {
+				t.Errorf("front point %d %v is dominated by %d %v", i, pts[i], j, pts[j])
+			}
+		}
+	}
+	for j := range pts {
+		if onFront[j] {
+			continue
+		}
+		justified := false
+		for _, i := range front {
+			if pts[i].Dominates(pts[j]) || (pts[i] == pts[j] && i < j) {
+				justified = true
+				break
+			}
+		}
+		if !justified {
+			t.Errorf("excluded point %d %v is neither dominated nor a duplicate of a front point", j, pts[j])
+		}
+	}
+
+	again := Front(pts)
+	if len(again) != len(front) {
+		t.Fatalf("second call returned %d points, first %d", len(again), len(front))
+	}
+	for k := range front {
+		if front[k] != again[k] {
+			t.Fatalf("front not deterministic: %v vs %v", front, again)
+		}
+	}
+}
+
+// TestFrontTies pins deterministic tie handling explicitly: exact
+// (metric, cost) duplicates keep the lowest index only.
+func TestFrontTies(t *testing.T) {
+	pts := []Point{
+		{Metric: 10, Cost: 5},
+		{Metric: 10, Cost: 5}, // duplicate of 0 — dropped
+		{Metric: 12, Cost: 5}, // same cost, better metric — replaces the tier
+		{Metric: 12, Cost: 9}, // dominated: same metric, higher cost
+		{Metric: 20, Cost: 9},
+	}
+	got := Front(pts)
+	want := []int{2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Front = %v, want %v", got, want)
+		}
+	}
+	if Front(nil) != nil {
+		t.Error("Front(nil) should be nil")
+	}
+}
+
 // Property: more bandwidth never makes a block transfer slower, and
 // cost is monotone in every component.
 func TestMonotonicity(t *testing.T) {

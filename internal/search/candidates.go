@@ -1,0 +1,119 @@
+// Candidate generation: enumeration, seeded distinct sampling and the
+// pareto strategy's neighborhood moves. A candidate is a value
+// assignment parallel to Spec.Space; everything here is deterministic
+// for a fixed seed — sampling draws from one seeded rand.Rand, maps
+// are used only for membership (never ranged), and all orders derive
+// from dimension and draw order.
+package search
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// candidate assigns one value per dimension, parallel to Spec.Space.
+type candidate []int
+
+// key is the dedup identity ("8,2" for streams=8 depth=2).
+func (c candidate) key() string {
+	var b strings.Builder
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// gridSize is the cross-product cardinality of the space.
+func gridSize(dims []Dim) int {
+	n := 1
+	for _, d := range dims {
+		n *= len(d.Values)
+	}
+	return n
+}
+
+// enumerate lists the whole grid in lexicographic dimension order
+// (last dimension fastest), matching nested sweep loops.
+func enumerate(dims []Dim) []candidate {
+	out := make([]candidate, 0, gridSize(dims))
+	cur := make([]int, len(dims))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(dims) {
+			out = append(out, append(candidate(nil), cur...))
+			return
+		}
+		for _, v := range dims[i].Values {
+			cur[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// sample draws n distinct candidates not already in seen, marking them
+// seen. Draw order is the result order. When rejection sampling stalls
+// (nearly exhausted grid), it falls back to the first unseen points in
+// enumeration order, so the result is always deterministic and of full
+// size when the grid allows.
+func sample(rng *rand.Rand, dims []Dim, n int, seen map[string]bool) []candidate {
+	out := make([]candidate, 0, n)
+	tries := 20 * n
+	for len(out) < n && tries > 0 {
+		tries--
+		c := make(candidate, len(dims))
+		for i, d := range dims {
+			c[i] = d.Values[rng.Intn(len(d.Values))]
+		}
+		k := c.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	if len(out) < n {
+		for _, c := range enumerate(dims) {
+			if len(out) == n {
+				break
+			}
+			k := c.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// neighbors returns the one-step moves from c: for each dimension in
+// order, the adjacent values (previous, then next) in that dimension's
+// Values order.
+func neighbors(c candidate, dims []Dim) []candidate {
+	var out []candidate
+	for i, d := range dims {
+		at := 0
+		for j, v := range d.Values {
+			if v == c[i] {
+				at = j
+				break
+			}
+		}
+		for _, j := range []int{at - 1, at + 1} {
+			if j < 0 || j >= len(d.Values) {
+				continue
+			}
+			n := append(candidate(nil), c...)
+			n[i] = d.Values[j]
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// The batched evaluator: realize a generation of candidates as
+// core.Systems, feed them through the fan-out replay engine against
+// the one recorded trace, and score each on every metric at once.
+package search
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"streamsim/internal/core"
+	"streamsim/internal/cost"
+	"streamsim/internal/sweeprun"
+	"streamsim/internal/trace"
+)
+
+// baselineBandwidthMBps fixes the priced memory bandwidth so cost
+// varies only with the searched hardware (streams, filters, victim
+// SRAM); it matches the T3D-class 300 MB/s node of the cost package's
+// examples.
+const baselineBandwidthMBps = 300
+
+// evaluator scores candidates against one recorded trace. It is the
+// single evaluation path for every strategy, so halving, pareto and
+// grid results are comparable by construction.
+type evaluator struct {
+	spec   Spec
+	tr     *trace.Store
+	prices cost.Prices
+	evals  int // running count, owned by the strategy goroutine
+}
+
+// config realizes a candidate by applying each dimension's mutator to
+// the paper-default configuration. Parameters outside the space stay
+// at their paper defaults.
+func (ev *evaluator) config(c candidate) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	for i, d := range ev.spec.Space {
+		if err := sweeprun.ParamSet[d.Param].Apply(&cfg, c[i]); err != nil {
+			return core.Config{}, fmt.Errorf("search: %s=%d: %w", d.Param, c[i], err)
+		}
+	}
+	return cfg, nil
+}
+
+// nodeCost prices the candidate's hardware delta: stream-buffer
+// entries (PerStream prices a paper-depth buffer, so deeper buffers
+// scale proportionally), filter logic if any filter is present, and
+// victim-cache entries as SRAM.
+func (ev *evaluator) nodeCost(cfg core.Config) (float64, error) {
+	def := core.DefaultConfig()
+	depth := cfg.Streams.Depth
+	if depth <= 0 {
+		depth = def.Streams.Depth
+	}
+	refDepth := def.Streams.Depth
+	if refDepth <= 0 {
+		refDepth = 1
+	}
+	units := (cfg.Streams.Streams*depth + refDepth - 1) / refDepth
+	var sramKB uint
+	if cfg.VictimEntries > 0 {
+		bytes := cfg.VictimEntries * int(cfg.Geometry.BlockBytes())
+		sramKB = uint((bytes + 1023) / 1024)
+		if sramKB == 0 {
+			sramKB = 1
+		}
+	}
+	n := cost.Node{
+		L2KB:          sramKB,
+		Streams:       units,
+		Filtered:      cfg.UnitFilterEntries > 0 || cfg.StrideFilterEntries > 0,
+		BandwidthMBps: baselineBandwidthMBps,
+	}
+	return ev.prices.Cost(n)
+}
+
+// evaluate scores one generation. windows > 0 replays only that many
+// sample windows (a cheap halving rung); windows == 0 replays the full
+// trace through the window-sharded engine with zero options — the same
+// machine-independent call the sweep engine uses, so full-trace scores
+// are identical to a solo sweep point's and independent of generation
+// grouping. The generation is split into up to Spec.Parallel
+// contiguous groups replayed concurrently; per-candidate results never
+// depend on the grouping, so any width produces identical evaluations.
+func (ev *evaluator) evaluate(ctx context.Context, pool []candidate, windows int) ([]Eval, error) {
+	if len(pool) == 0 {
+		return nil, nil
+	}
+	evals := make([]Eval, len(pool))
+	systems := make([]*core.System, len(pool))
+	for i, c := range pool {
+		cfg, err := ev.config(c)
+		if err != nil {
+			return nil, err
+		}
+		costUSD, err := ev.nodeCost(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
+		evals[i] = Eval{
+			Config:  c.label(ev.spec.Space),
+			Values:  append([]int(nil), c...),
+			Cost:    costUSD,
+			Windows: windows,
+		}
+	}
+
+	groups := ev.spec.Parallel
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > len(pool) {
+		groups = len(pool)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, groups)
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		lo := g * len(pool) / groups
+		hi := (g + 1) * len(pool) / groups
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			group := systems[lo:hi]
+			var err error
+			if windows > 0 {
+				err = core.ReplayStoreMultiPrefix(runCtx, group, ev.tr, windows)
+			} else {
+				err = core.ReplayStoreMultiWindowed(runCtx, group, ev.tr, core.ShardOptions{})
+			}
+			if err != nil {
+				errs[g] = err
+				cancel()
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, sys := range systems {
+		if windows <= 0 {
+			// Instructions are a whole-trace quantity; prefix rungs rank
+			// on access-stream metrics only, which don't need them.
+			sys.AddInstructions(ev.tr.Instructions())
+		}
+		r := sys.Results()
+		evals[i].Hit = r.StreamHitRate()
+		evals[i].EB = r.ExtraBandwidth()
+		evals[i].MissRate = r.DataMissRate()
+	}
+	ev.evals += len(pool)
+	evalsTotal.Add(uint64(len(pool)))
+	return evals, nil
+}
+
+// label renders "streams=8 depth=2" in dimension order.
+func (c candidate) label(dims []Dim) string {
+	var b strings.Builder
+	for i, d := range dims {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", d.Param, c[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,19 @@
+// Exhaustive grid evaluation: the oracle strategy. Small enough
+// spaces can skip cleverness entirely, and the CI optimize-smoke gate
+// checks the seeded strategies find the same winner this one does.
+package search
+
+import "context"
+
+func runGrid(ctx context.Context, ev *evaluator, onProgress func(Progress)) (*Result, error) {
+	s := ev.spec
+	pool := enumerate(s.Space)
+	evals, err := ev.evaluate(ctx, pool, 0)
+	if err != nil {
+		return nil, err
+	}
+	if onProgress != nil {
+		onProgress(progressFor(s, 0, ev.evals, 0, evals, bestOf(s.Metric, evals)))
+	}
+	return finishResult(s, ev.evals, evals), nil
+}

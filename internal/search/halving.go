@@ -1,0 +1,100 @@
+// Successive halving: score a seeded pool of candidates on a short
+// trace prefix, keep the top half, double the prefix, repeat until the
+// finalists replay the full trace. Early rungs are cheap (the prefix
+// engine decodes the first windows once per generation), so most of
+// the evaluation budget buys breadth where it matters least to be
+// exact and depth where it matters most.
+package search
+
+import (
+	"context"
+	"math/rand"
+)
+
+// minRungWindows keeps the earliest rung meaningful: a score over a
+// couple of windows is mostly warmup noise.
+const minRungWindows = 4
+
+func runHalving(ctx context.Context, ev *evaluator, onProgress func(Progress)) (*Result, error) {
+	s := ev.spec
+	gsize := gridSize(s.Space)
+	// The rung schedule roughly doubles cost per survivor while halving
+	// survivors, so a pool of budget/2 keeps the eval total within
+	// budget (n + n/2 + ... <= 2n, modulo ceiling crumbs trimmed below).
+	n := s.Budget / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > gsize {
+		n = gsize
+	}
+	var pool []candidate
+	if n == gsize {
+		pool = enumerate(s.Space)
+	} else {
+		rng := rand.New(rand.NewSource(s.Seed))
+		pool = sample(rng, s.Space, n, make(map[string]bool, n))
+	}
+	rungs := 1
+	for m := n; m > 1; m = (m + 1) / 2 {
+		rungs++
+	}
+	K := ev.tr.WindowCount()
+
+	var full []Eval // cumulative full-trace evals (front material)
+	var best *Eval  // best at the deepest rung reached
+	for r := 0; r < rungs && len(pool) > 0; r++ {
+		// Prefix length: halved per rung walking back from the full
+		// trace, floored so the first rung still sees real behaviour.
+		w := 0
+		if r < rungs-1 {
+			w = K >> (rungs - 1 - r)
+			if w < minRungWindows {
+				w = minRungWindows
+			}
+			if w >= K {
+				w = 0
+			}
+		}
+		if ev.evals+len(pool) > s.Budget {
+			pool = pool[:s.Budget-ev.evals]
+			if len(pool) == 0 {
+				break
+			}
+		}
+		evals, err := ev.evaluate(ctx, pool, w)
+		if err != nil {
+			return nil, err
+		}
+		if w == 0 {
+			full = append(full, evals...)
+		}
+		order := rankByScore(s.Metric, evals)
+		best = &evals[order[0]]
+		if onProgress != nil {
+			onProgress(progressFor(s, r, ev.evals, w, full, best))
+		}
+		if r == rungs-1 {
+			break
+		}
+		keep := (len(pool) + 1) / 2
+		next := make([]candidate, keep)
+		// Survivors keep their rank order, so the next rung's pool —
+		// and with it every later decision — is a pure function of the
+		// scores, which the replay engines make machine-independent.
+		for k := 0; k < keep; k++ {
+			next[k] = pool[order[k]]
+		}
+		pool = next
+	}
+	r := finishResult(s, ev.evals, full)
+	if r.Winner == nil && best != nil && satisfies(*best, s.Constraints) {
+		// Budget ran out before any full-trace rung: report the deepest
+		// prefix best honestly, Windows marking the partial evidence.
+		b := *best
+		r.Winner = &b
+		p := *best
+		r.Peak = &p
+	}
+	return r, nil
+}

@@ -7,6 +7,7 @@ package api
 import (
 	"time"
 
+	"streamsim/internal/search"
 	"streamsim/internal/sweeprun"
 	"streamsim/internal/tab"
 )
@@ -17,15 +18,20 @@ const (
 	// job status, /{id}/stream for NDJSON progress and DELETE /{id}
 	// to cancel.
 	JobsPath = "/v1/jobs"
+	// OptimizePath accepts POST with a search.Spec body: it submits an
+	// optimizer job (same store, memoization and backpressure as
+	// JobsPath) and streams its status as NDJSON on the same response,
+	// each line carrying the evolving Pareto front.
+	OptimizePath = "/v1/optimize"
 	// HealthPath answers 200 while the service accepts jobs.
 	HealthPath = "/healthz"
 	// MetricsPath serves the expvar-backed JSON metrics.
 	MetricsPath = "/metrics"
 )
 
-// SubmitRequest asks the service to run one job: either a paper
-// experiment by ID, or a parameter sweep. Exactly one of Experiment
-// and Sweep must be set.
+// SubmitRequest asks the service to run one job: a paper experiment by
+// ID, a parameter sweep, or a config-space optimization. Exactly one
+// of Experiment, Sweep and Optimize must be set.
 type SubmitRequest struct {
 	// Experiment is a paper artefact ID (e.g. "table1", "fig3"; see
 	// paperexp -list).
@@ -35,6 +41,8 @@ type SubmitRequest struct {
 	Scale float64 `json:"scale,omitempty"`
 	// Sweep describes a parameter-sweep job.
 	Sweep *sweeprun.Spec `json:"sweep,omitempty"`
+	// Optimize describes a config-space optimizer job.
+	Optimize *search.Spec `json:"optimize,omitempty"`
 }
 
 // JobState is the lifecycle of a job.
@@ -76,6 +84,10 @@ type JobStatus struct {
 	Cached bool `json:"cached,omitempty"`
 	// Error describes a failed job.
 	Error string `json:"error,omitempty"`
+	// Progress is the latest generation snapshot of a running optimizer
+	// job: the evolving Pareto front, evaluation count and current
+	// best. Each front only improves on the previous line's.
+	Progress *search.Progress `json:"progress,omitempty"`
 	// Table is the structured result of a done job.
 	Table *tab.Table `json:"table,omitempty"`
 	// Text is the rendered form of Table (byte-identical to what the

@@ -25,6 +25,10 @@ func normalize(req api.SubmitRequest) api.SubmitRequest {
 		s := req.Sweep.WithDefaults()
 		req.Sweep = &s
 	}
+	if req.Optimize != nil {
+		o := req.Optimize.WithDefaults()
+		req.Optimize = &o
+	}
 	return req
 }
 

@@ -1,0 +1,247 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamsim/internal/search"
+	"streamsim/internal/service/api"
+)
+
+// optimizeSpec is a small real optimization whose grid exceeds the
+// budget, so the pareto strategy streams several generations.
+func optimizeSpec() search.Spec {
+	return search.Spec{
+		Workload: "mgrid",
+		Scale:    0.05,
+		Strategy: "pareto",
+		Space: []search.Dim{
+			{Param: "streams", Values: []int{1, 2, 4, 8}},
+			{Param: "depth", Values: []int{1, 2}},
+		},
+		Budget: 6,
+		Seed:   3,
+	}
+}
+
+// postOptimize POSTs a spec to /v1/optimize and returns the response.
+func postOptimize(t *testing.T, hs *httptest.Server, spec search.Spec) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := hs.Client().Post(hs.URL+api.OptimizePath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// decodeLines reads every NDJSON line until EOF.
+func decodeLines(t *testing.T, resp *http.Response) []api.JobStatus {
+	t.Helper()
+	var out []api.JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var st api.JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, st)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no NDJSON lines")
+	}
+	return out
+}
+
+// TestOptimizeStreamsImprovingFront drives the real optimizer through
+// POST /v1/optimize and checks the acceptance contract: NDJSON lines
+// carry a monotonically improving Pareto front — every point of an
+// earlier front is matched or dominated by a later one — and the
+// terminal line is a done job whose table answers the winner. The
+// search_* gauges must be live afterwards.
+func TestOptimizeStreamsImprovingFront(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(svc.Abort)
+
+	resp := postOptimize(t, hs, optimizeSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := decodeLines(t, resp)
+
+	var fronts [][]search.Eval
+	lastEvals := 0
+	for _, st := range lines {
+		if st.Progress == nil {
+			continue
+		}
+		p := st.Progress
+		if p.Evals < lastEvals {
+			t.Errorf("evals regressed: %d after %d", p.Evals, lastEvals)
+		}
+		lastEvals = p.Evals
+		if p.Evals > p.Budget {
+			t.Errorf("evals %d exceed budget %d", p.Evals, p.Budget)
+		}
+		fronts = append(fronts, p.Front)
+	}
+	if len(fronts) < 2 {
+		t.Fatalf("want several generation snapshots, got %d", len(fronts))
+	}
+	for g := 1; g < len(fronts); g++ {
+		for _, old := range fronts[g-1] {
+			matched := false
+			for _, cur := range fronts[g] {
+				if cur.Hit >= old.Hit && cur.Cost <= old.Cost {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("generation %d lost front point %+v", g, old)
+			}
+		}
+	}
+
+	last := lines[len(lines)-1]
+	if last.State != api.StateDone {
+		t.Fatalf("final state %s (error %q), want done", last.State, last.Error)
+	}
+	if last.Table == nil || !strings.Contains(last.Text, "winner:") {
+		t.Errorf("done line lacks the result table: %+v", last)
+	}
+
+	mresp, err := hs.Client().Get(hs.URL + api.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var metrics map[string]any
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := metrics["search_evals_total"].(float64); v < 1 {
+		t.Errorf("search_evals_total = %v, want >= 1", metrics["search_evals_total"])
+	}
+	if v, _ := metrics["search_front_size"].(float64); v < 1 {
+		t.Errorf("search_front_size = %v, want >= 1", metrics["search_front_size"])
+	}
+}
+
+// TestOptimizeCancelMidGeneration cancels a streaming optimizer job
+// through DELETE /v1/jobs/{id} and expects the job context to abort
+// the optimizer mid-generation and the stream to end on a cancelled
+// status line.
+func TestOptimizeCancelMidGeneration(t *testing.T) {
+	sawCancel := make(chan struct{})
+	cfg := Config{
+		Workers: 1,
+		RunOptimize: func(ctx context.Context, s search.Spec, onProgress func(search.Progress)) (*search.Result, error) {
+			onProgress(search.Progress{Strategy: s.Strategy, Generation: 0, Evals: 1, Budget: s.Budget, FrontSize: 1})
+			<-ctx.Done() // a generation in flight: only cancellation ends it
+			close(sawCancel)
+			return nil, ctx.Err()
+		},
+	}
+	svc := New(cfg)
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(svc.Abort)
+
+	resp := postOptimize(t, hs, optimizeSpec())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var last api.JobStatus
+	cancelled := false
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+		if last.Progress != nil && !cancelled {
+			cancelled = true
+			cl := &api.Client{Base: hs.URL, HTTP: hs.Client()}
+			if _, err := cl.Cancel(context.Background(), last.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !cancelled {
+		t.Fatal("never saw a progress line to cancel after")
+	}
+	if last.State != api.StateCancelled {
+		t.Fatalf("final state %s, want cancelled", last.State)
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("optimizer never observed the cancellation")
+	}
+}
+
+// TestOptimizeMemoizedAndValidated pins the endpoint to the job
+// store's contract: equal specs share one job (the optimizer runs
+// once), and a malformed spec fails fast with 400.
+func TestOptimizeMemoizedAndValidated(t *testing.T) {
+	var calls atomic.Int64
+	cfg := Config{
+		Workers: 1,
+		RunOptimize: func(ctx context.Context, s search.Spec, onProgress func(search.Progress)) (*search.Result, error) {
+			calls.Add(1)
+			r := &search.Result{Spec: s.WithDefaults(), Evals: 1}
+			return r, nil
+		},
+	}
+	svc := New(cfg)
+	hs := httptest.NewServer(svc.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(svc.Abort)
+
+	first := decodeLines(t, postOptimize(t, hs, optimizeSpec()))
+	if got := first[len(first)-1].State; got != api.StateDone {
+		t.Fatalf("first run ended %s", got)
+	}
+	again := decodeLines(t, postOptimize(t, hs, optimizeSpec()))
+	if got := again[len(again)-1].State; got != api.StateDone {
+		t.Fatalf("second run ended %s", got)
+	}
+	if first[len(first)-1].ID != again[len(again)-1].ID {
+		t.Errorf("equal specs produced distinct jobs %s and %s",
+			first[len(first)-1].ID, again[len(again)-1].ID)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("optimizer ran %d times, want 1 (memoized)", calls.Load())
+	}
+
+	bad := optimizeSpec()
+	bad.Space = nil
+	resp := postOptimize(t, hs, bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec got %d, want 400", resp.StatusCode)
+	}
+}

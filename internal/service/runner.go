@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"streamsim/internal/experiments"
+	"streamsim/internal/search"
 	"streamsim/internal/service/api"
 	"streamsim/internal/sweeprun"
 	"streamsim/internal/tab"
@@ -17,13 +18,18 @@ import (
 
 // runRequest executes one normalized request under ctx. Job results
 // must be byte-identical to the direct in-process run (the golden
-// tests diff them), so this root must stay deterministic.
+// tests diff them), so this root must stay deterministic. Optimizer
+// jobs normally route through Server.runJob's progress-streaming path
+// instead, but a direct call computes the identical result table.
 //
 //simlint:deterministic
 func runRequest(ctx context.Context, req api.SubmitRequest) (*tab.Table, error) {
 	switch {
-	case req.Experiment != "" && req.Sweep != nil:
-		return nil, fmt.Errorf("service: request names both an experiment and a sweep")
+	case req.Experiment == "" && req.Sweep == nil && req.Optimize == nil:
+		return nil, fmt.Errorf("service: request names no job (experiment, sweep or optimize)")
+	case (req.Experiment != "" && req.Sweep != nil) || (req.Experiment != "" && req.Optimize != nil) ||
+		(req.Sweep != nil && req.Optimize != nil):
+		return nil, fmt.Errorf("service: request names more than one job kind")
 	case req.Experiment != "":
 		e, err := experiments.Lookup(req.Experiment)
 		if err != nil {
@@ -34,16 +40,27 @@ func runRequest(ctx context.Context, req api.SubmitRequest) (*tab.Table, error) 
 		t, _, err := sweeprun.Run(ctx, *req.Sweep)
 		return t, err
 	default:
-		return nil, fmt.Errorf("service: request names neither an experiment nor a sweep")
+		res, err := search.Run(ctx, *req.Optimize)
+		if err != nil {
+			return nil, err
+		}
+		return res.Table(), nil
 	}
 }
 
 // validateRequest rejects malformed requests before they are queued,
 // so submissions fail fast with 400 instead of producing failed jobs.
 func validateRequest(req api.SubmitRequest) error {
+	set := 0
+	for _, on := range []bool{req.Experiment != "", req.Sweep != nil, req.Optimize != nil} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("exactly one of experiment, sweep and optimize must be set, got %d", set)
+	}
 	switch {
-	case req.Experiment != "" && req.Sweep != nil:
-		return fmt.Errorf("exactly one of experiment and sweep must be set, got both")
 	case req.Experiment != "":
 		if _, err := experiments.Lookup(req.Experiment); err != nil {
 			return fmt.Errorf("unknown experiment %q", req.Experiment)
@@ -55,7 +72,7 @@ func validateRequest(req api.SubmitRequest) error {
 	case req.Sweep != nil:
 		return req.Sweep.Validate()
 	default:
-		return fmt.Errorf("exactly one of experiment and sweep must be set, got neither")
+		return req.Optimize.Validate()
 	}
 }
 

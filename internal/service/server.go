@@ -19,6 +19,7 @@ import (
 
 	"streamsim/internal/core"
 	"streamsim/internal/experiments"
+	"streamsim/internal/search"
 	"streamsim/internal/service/api"
 	"streamsim/internal/tab"
 )
@@ -33,6 +34,10 @@ type Config struct {
 	// harness (experiments / sweeprun). Tests inject slow or failing
 	// runners here.
 	RunJob func(ctx context.Context, req api.SubmitRequest) (*tab.Table, error)
+	// RunOptimize executes one optimizer job, reporting each generation
+	// through onProgress; nil means search.RunProgress. Tests inject
+	// controllable optimizers here.
+	RunOptimize func(ctx context.Context, s search.Spec, onProgress func(search.Progress)) (*search.Result, error)
 }
 
 // Server owns the job store, the worker pool and the HTTP handlers.
@@ -58,6 +63,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.RunJob == nil {
 		cfg.RunJob = runRequest
+	}
+	if cfg.RunOptimize == nil {
+		cfg.RunOptimize = search.RunProgress
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -96,6 +104,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET "+api.JobsPath+"/{id}", s.handleGet)
 	s.mux.HandleFunc("GET "+api.JobsPath+"/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("DELETE "+api.JobsPath+"/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST "+api.OptimizePath, s.handleOptimize)
 	s.mux.HandleFunc("GET "+api.HealthPath, s.handleHealth)
 	s.mux.HandleFunc("GET "+api.MetricsPath, s.handleMetrics)
 }
@@ -117,6 +126,8 @@ func (s *Server) initMetrics() {
 	gauge("refs_replayed_total", func() any { return experiments.ReplayedRefs() })
 	gauge("replay_fanout_width", func() any { return core.LastFanOutWidth() })
 	gauge("replay_window_shards", func() any { return core.LastWindowShards() })
+	gauge("search_evals_total", func() any { return search.EvalsTotal() })
+	gauge("search_front_size", func() any { return search.LastFrontSize() })
 	gauge("refs_per_sec", func() any {
 		up := now().Sub(s.start).Seconds()
 		if up <= 0 {
@@ -136,6 +147,17 @@ func (s *Server) runJob(j *job) {
 	}
 	if !s.store.markRunning(j) {
 		return // cancelled while queued
+	}
+	if opt := j.status.Request.Optimize; opt != nil {
+		res, err := s.cfg.RunOptimize(j.ctx, *opt, func(p search.Progress) {
+			s.store.setProgress(j, &p)
+		})
+		var t *tab.Table
+		if err == nil {
+			t = res.Table()
+		}
+		terminalFor(s, j, t, err)
+		return
 	}
 	t, err := s.cfg.RunJob(j.ctx, j.status.Request)
 	terminalFor(s, j, t, err)
@@ -250,6 +272,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.streamJob(w, r, j)
+}
+
+// streamJob is the shared NDJSON push loop behind /stream and
+// /v1/optimize: one status line per store mutation (state transitions
+// and optimizer progress) plus heartbeats, until the job is terminal
+// or the client goes away.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	fl, _ := w.(http.Flusher)
@@ -286,6 +316,45 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleOptimize accepts a search.Spec, submits it as an optimizer
+// job — same store, memoization, worker pool and backpressure as
+// /v1/jobs — and streams the job's status on the same response: one
+// NDJSON line per generation, each carrying a front at least as good
+// as the last, ending with the terminal status. Cancellation goes
+// through DELETE /v1/jobs/{id} (the first line carries the ID) and
+// lands mid-generation via the job context.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	var spec search.Spec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req := normalize(api.SubmitRequest{Optimize: &spec})
+	if err := validateRequest(req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := canonicalKey(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.base)
+	j, fresh := s.store.submit(req, key, ctx, cancel)
+	if !fresh {
+		cancel() // the new context is unused; the existing job keeps its own
+	} else if !s.pool.submit(j) {
+		s.store.markFailed(j, fmt.Errorf("worker queue full"))
+		writeError(w, http.StatusServiceUnavailable, "worker queue full (backlog %d)", s.cfg.Backlog)
+		return
+	}
+	s.streamJob(w, r, j)
 }
 
 // handleHealth answers 200 while the service accepts jobs and 503

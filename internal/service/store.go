@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"streamsim/internal/search"
 	"streamsim/internal/service/api"
 	"streamsim/internal/tab"
 )
@@ -127,6 +128,18 @@ func (s *store) mutate(j *job, fn func(*api.JobStatus)) {
 	j.version++
 	close(j.changed)
 	j.changed = make(chan struct{})
+}
+
+// setProgress publishes an optimizer generation snapshot, waking
+// streamers. Late callbacks racing a cancellation are dropped so a
+// terminal status stays frozen.
+func (s *store) setProgress(j *job, p *search.Progress) {
+	s.mutate(j, func(st *api.JobStatus) {
+		if st.State.Terminal() {
+			return
+		}
+		st.Progress = p
+	})
 }
 
 // markRunning moves a queued job to running; false if it was already

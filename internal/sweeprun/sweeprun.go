@@ -68,11 +68,18 @@ func (s Spec) Validate() error {
 	if s.Workload == "" {
 		return fmt.Errorf("sweeprun: workload is required")
 	}
-	if _, ok := params[s.Param]; !ok {
+	if _, ok := ParamSet[s.Param]; !ok {
 		return fmt.Errorf("sweeprun: unknown parameter %q (available: %s)", s.Param, ParamNames())
 	}
 	if len(s.Values) == 0 {
 		return fmt.Errorf("sweeprun: at least one value is required")
+	}
+	seen := make(map[int]bool, len(s.Values))
+	for _, v := range s.Values {
+		if seen[v] {
+			return fmt.Errorf("sweeprun: duplicate value %d in values; each point would measure the same configuration twice", v)
+		}
+		seen[v] = true
 	}
 	switch s.Metric {
 	case "hit", "eb", "missrate", "cpi":
@@ -85,61 +92,94 @@ func (s Spec) Validate() error {
 	if s.Parallel < 0 {
 		return fmt.Errorf("sweeprun: parallel %d must be >= 0", s.Parallel)
 	}
-	if _, err := buildWorkload(s.Workload, s.Size); err != nil {
+	if _, err := BuildWorkload(s.Workload, s.Size); err != nil {
 		return err
 	}
 	return nil
 }
 
-// params maps a parameter name to a config mutator.
-var params = map[string]func(cfg *core.Config, v int) error{
-	"streams": func(cfg *core.Config, v int) error {
-		if v == 0 {
-			return fmt.Errorf("streams must be >= 1 in a sweep")
-		}
-		cfg.Streams.Streams = v
-		return nil
+// Param is one sweepable memory-system parameter: a documented mutator
+// over core.Config. The sweep engine varies one Param at a time; the
+// internal/search optimizer composes several into a multi-dimensional
+// candidate space. Both mutate configurations through this one table,
+// so a parameter added here is immediately sweepable and searchable.
+type Param struct {
+	// Doc is a one-line description for CLI listings.
+	Doc string
+	// Apply sets the parameter to v on cfg, rejecting invalid values.
+	Apply func(cfg *core.Config, v int) error
+}
+
+// ParamSet maps every sweepable parameter name to its mutator.
+var ParamSet = map[string]Param{
+	"streams": {
+		Doc: "number of stream buffers (>= 1)",
+		Apply: func(cfg *core.Config, v int) error {
+			if v == 0 {
+				return fmt.Errorf("streams must be >= 1 in a sweep")
+			}
+			cfg.Streams.Streams = v
+			return nil
+		},
 	},
-	"depth": func(cfg *core.Config, v int) error {
-		cfg.Streams.Depth = v
-		return nil
+	"depth": {
+		Doc: "entries per stream buffer",
+		Apply: func(cfg *core.Config, v int) error {
+			cfg.Streams.Depth = v
+			return nil
+		},
 	},
-	"filter": func(cfg *core.Config, v int) error {
-		cfg.UnitFilterEntries = v
-		return nil
+	"filter": {
+		Doc: "unit-stride filter entries (0 disables)",
+		Apply: func(cfg *core.Config, v int) error {
+			cfg.UnitFilterEntries = v
+			return nil
+		},
 	},
-	"czone": func(cfg *core.Config, v int) error {
-		if v < 1 {
-			return fmt.Errorf("czone bits must be positive")
-		}
-		cfg.CzoneBits = uint(v)
-		return nil
+	"czone": {
+		Doc: "czone size in word-address bits",
+		Apply: func(cfg *core.Config, v int) error {
+			if v < 1 {
+				return fmt.Errorf("czone bits must be positive")
+			}
+			cfg.CzoneBits = uint(v)
+			return nil
+		},
 	},
-	"assoc": func(cfg *core.Config, v int) error {
-		if v < 1 {
-			return fmt.Errorf("associativity must be positive")
-		}
-		cfg.L1I.Assoc = uint(v)
-		cfg.L1D.Assoc = uint(v)
-		return nil
+	"assoc": {
+		Doc: "L1 associativity (both caches)",
+		Apply: func(cfg *core.Config, v int) error {
+			if v < 1 {
+				return fmt.Errorf("associativity must be positive")
+			}
+			cfg.L1I.Assoc = uint(v)
+			cfg.L1D.Assoc = uint(v)
+			return nil
+		},
 	},
-	"victim": func(cfg *core.Config, v int) error {
-		cfg.VictimEntries = v
-		return nil
+	"victim": {
+		Doc: "victim-cache entries behind each L1 (0 disables)",
+		Apply: func(cfg *core.Config, v int) error {
+			cfg.VictimEntries = v
+			return nil
+		},
 	},
-	"latency": func(cfg *core.Config, v int) error {
-		if v < 0 {
-			return fmt.Errorf("latency must be non-negative")
-		}
-		cfg.Streams.Latency = uint64(v)
-		return nil
+	"latency": {
+		Doc: "stream fill latency in cycles",
+		Apply: func(cfg *core.Config, v int) error {
+			if v < 0 {
+				return fmt.Errorf("latency must be non-negative")
+			}
+			cfg.Streams.Latency = uint64(v)
+			return nil
+		},
 	},
 }
 
 // ParamNames lists the sweepable parameters for error messages.
 func ParamNames() string {
-	names := make([]string, 0, len(params))
-	for n := range params {
+	names := make([]string, 0, len(ParamSet))
+	for n := range ParamSet {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -159,11 +199,7 @@ func Run(ctx context.Context, s Spec) (*tab.Table, []float64, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, err
 	}
-	mutate := params[s.Param]
-	w, err := buildWorkload(s.Workload, s.Size)
-	if err != nil {
-		return nil, nil, err
-	}
+	mutate := ParamSet[s.Param].Apply
 	// Build every configuration up front so a bad value fails before
 	// any simulation runs.
 	cfgs := make([]core.Config, len(s.Values))
@@ -174,18 +210,8 @@ func Run(ctx context.Context, s Spec) (*tab.Table, []float64, error) {
 		}
 		cfgs[i] = cfg
 	}
-	// Record once. The store keeps the full event order (accesses and
-	// positioned instruction counts), so a CPI replay charges cycles in
-	// exactly the sequence a live run would.
-	sz := workload.SizeSmall
-	if s.Size == "large" {
-		sz = workload.SizeLarge
-	}
-	tr := trace.NewStore(int(workload.EstimateRefs(w.Name, sz, s.Scale)))
-	if err := w.RunContext(ctx, tr, s.Scale); err != nil {
-		return nil, nil, err
-	}
-	if err := tr.Err(); err != nil {
+	w, tr, err := Record(ctx, s.Workload, s.Size, s.Scale)
+	if err != nil {
 		return nil, nil, err
 	}
 	values := make([]float64, len(cfgs))
@@ -293,8 +319,33 @@ func runPointsFanOut(ctx context.Context, s Spec, tr *trace.Store, cfgs []core.C
 	return nil
 }
 
-// buildWorkload resolves a benchmark name or a custom:<mix> spec.
-func buildWorkload(name, sizeS string) (*workload.Workload, error) {
+// Record builds the named workload and records it once into a compact
+// trace store at the given scale. The store keeps the full event order
+// (accesses and positioned instruction counts), so a CPI replay
+// charges cycles in exactly the sequence a live run would. Shared by
+// the sweep engine and the internal/search optimizer: both replay one
+// recording through many configurations.
+func Record(ctx context.Context, name, sizeS string, scale float64) (*workload.Workload, *trace.Store, error) {
+	w, err := BuildWorkload(name, sizeS)
+	if err != nil {
+		return nil, nil, err
+	}
+	sz := workload.SizeSmall
+	if sizeS == "large" {
+		sz = workload.SizeLarge
+	}
+	tr := trace.NewStore(int(workload.EstimateRefs(w.Name, sz, scale)))
+	if err := w.RunContext(ctx, tr, scale); err != nil {
+		return nil, nil, err
+	}
+	if err := tr.Err(); err != nil {
+		return nil, nil, err
+	}
+	return w, tr, nil
+}
+
+// BuildWorkload resolves a benchmark name or a custom:<mix> spec.
+func BuildWorkload(name, sizeS string) (*workload.Workload, error) {
 	if mix, ok := strings.CutPrefix(name, "custom:"); ok {
 		parts := strings.Split(mix, ",")
 		if len(parts) != 3 {

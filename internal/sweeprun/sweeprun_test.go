@@ -3,6 +3,7 @@ package sweeprun
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -76,6 +77,27 @@ func TestRunCancelled(t *testing.T) {
 	for _, parallel := range []int{1, 4} {
 		if _, _, err := Run(ctx, baseSpec("hit", parallel)); err != context.Canceled {
 			t.Errorf("parallel=%d: Run on a cancelled ctx = %v, want context.Canceled", parallel, err)
+		}
+	}
+}
+
+func TestValidateRejectsDuplicateValues(t *testing.T) {
+	s := baseSpec("hit", 1)
+	s.Values = []int{1, 2, 4, 2}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("duplicate values passed Validate")
+	}
+	if got := err.Error(); !strings.Contains(got, "duplicate value 2") {
+		t.Errorf("duplicate error should name the value, got %q", got)
+	}
+}
+
+func TestParamSetCoversParamNames(t *testing.T) {
+	for _, name := range strings.Split(ParamNames(), ", ") {
+		p, ok := ParamSet[name]
+		if !ok || p.Apply == nil || p.Doc == "" {
+			t.Errorf("ParamSet[%q] missing or undocumented", name)
 		}
 	}
 }
