@@ -57,7 +57,7 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Hot-path benchmark regexp shared by the bench-* gates below.
-BENCH_HOT = SystemThroughput$$|SystemThroughputBatch$$|TraceReplay$$|TraceReplayScalar$$|ReplayMulti2$$|ReplayMulti8$$|ReplayIntra2$$|ReplayIntra8$$|Fig3Sharded$$
+BENCH_HOT = SystemThroughput$$|SystemThroughputBatch$$|TraceReplay$$|TraceReplayScalar$$|ReplayMulti2$$|ReplayMulti8$$|ReplayIntra2$$|ReplayIntra8$$|Fig3Sharded$$|HalvingScratch$$|HalvingIncremental$$
 
 # bench-smoke is the CI gate: one iteration per hot-path benchmark,
 # checked against the committed baseline (BENCH_after.json) by
@@ -104,7 +104,16 @@ sweep-smoke:
 # enough to enumerate, seeded successive halving must converge on the
 # same winner the exhaustive grid finds, and a repeated seeded run (at
 # a different -parallel width) must be byte-identical.
+#
+# The incremental legs gate the checkpointed replay layer (DESIGN.md
+# §12) on a config whose rung schedule floors (applu's small input is
+# an 8-window trace): the checkpointed run must print byte-identical
+# results to a -scratch run — extended-rung scores equal from-scratch
+# prefix scores — and again at any -parallel width, while its stderr
+# replay-cost line reports at least a 2x refs saving and a nonzero
+# eval-memo hit count.
 OPTIMIZE_SMOKE_ARGS = -optimize -workload mgrid -space 'streams=1,2,4,8' -budget 16 -seed 3 -scale 0.1
+OPTIMIZE_INCR_ARGS = -optimize -workload applu -space 'streams=1,2,3,4,5,6,8,12,16' -budget 24 -seed 3 -scale 0.05
 optimize-smoke:
 	$(GO) run ./cmd/sweep $(OPTIMIZE_SMOKE_ARGS) -strategy grid > optimize-grid.out
 	$(GO) run ./cmd/sweep $(OPTIMIZE_SMOKE_ARGS) -strategy halving -parallel 1 > optimize-halving.out
@@ -113,7 +122,14 @@ optimize-smoke:
 	grep '^winner:' optimize-grid.out > optimize-grid.winner
 	grep '^winner:' optimize-halving.out > optimize-halving.winner
 	cmp optimize-grid.winner optimize-halving.winner
-	rm -f optimize-grid.out optimize-halving.out optimize-again.out optimize-grid.winner optimize-halving.winner
+	$(GO) run ./cmd/sweep $(OPTIMIZE_INCR_ARGS) > optimize-incr.out 2> optimize-incr.err
+	$(GO) run ./cmd/sweep $(OPTIMIZE_INCR_ARGS) -scratch > optimize-scratch.out 2> /dev/null
+	cmp optimize-incr.out optimize-scratch.out
+	$(GO) run ./cmd/sweep $(OPTIMIZE_INCR_ARGS) -parallel 0 > optimize-incr-par.out 2> /dev/null
+	cmp optimize-incr.out optimize-incr-par.out
+	awk '/^refs:/ { if (2*$$3 <= $$5 && $$NF+0 > 0) ok=1 } END { exit !ok }' optimize-incr.err
+	rm -f optimize-grid.out optimize-halving.out optimize-again.out optimize-grid.winner optimize-halving.winner \
+		optimize-incr.out optimize-incr.err optimize-scratch.out optimize-incr-par.out
 
 # serve runs the simd job-service daemon (SIGINT/SIGTERM drain
 # gracefully; see cmd/simd and internal/service).

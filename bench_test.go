@@ -24,6 +24,7 @@ import (
 	"streamsim/internal/experiments"
 	"streamsim/internal/filter"
 	"streamsim/internal/mem"
+	"streamsim/internal/search"
 	"streamsim/internal/stream"
 	"streamsim/internal/trace"
 	"streamsim/internal/workload"
@@ -552,6 +553,38 @@ func BenchmarkFig3Sharded(b *testing.B) {
 		}
 	}
 }
+
+// benchHalving runs one full successive-halving optimization per op —
+// the optimize-smoke incremental configuration (applu's 8-window small
+// input, a 9-value streams space, budget 24), whose rung schedule
+// floors so the checkpoint, resume and eval-memo paths are all
+// exercised. The scratch/incremental pair is the committed evidence
+// for DESIGN.md §12: same spec, same result, only the replay work
+// differs (~2.1x fewer references incremental).
+func benchHalving(b *testing.B, scratch bool) {
+	b.Helper()
+	spec := search.Spec{
+		Workload: "applu",
+		Scale:    0.05,
+		Space:    []search.Dim{{Param: "streams", Values: []int{1, 2, 3, 4, 5, 6, 8, 12, 16}}},
+		Budget:   24,
+		Seed:     3,
+		Scratch:  scratch,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHalvingScratch re-simulates every rung from window 0 (the
+// pre-checkpoint optimizer), the baseline for HalvingIncremental.
+func BenchmarkHalvingScratch(b *testing.B) { benchHalving(b, true) }
+
+// BenchmarkHalvingIncremental runs the same optimization with the
+// checkpointed incremental-replay layer on.
+func BenchmarkHalvingIncremental(b *testing.B) { benchHalving(b, false) }
 
 // BenchmarkTraceDecode isolates the decode half of BenchmarkTraceReplay:
 // the PC-skipping batch decode of the same recorded trace, with no

@@ -75,6 +75,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		strategy = fs.String("strategy", "halving", "optimizer strategy: halving, pareto or grid")
 		seed     = fs.Int64("seed", 1, "optimizer sampling seed; a fixed seed is bit-reproducible at any -parallel width")
 		budget   = fs.Int("budget", 256, "optimizer evaluation budget")
+		scratch  = fs.Bool("scratch", false, "disable the optimizer's checkpointed incremental replay (same results, every rung re-simulated from window 0)")
 	)
 	var constraints []search.Constraint
 	fs.Func("constraint", "optimizer winner constraint 'metric<=value' or 'metric>=value' over hit, eb, missrate or cost (repeatable)", func(v string) error {
@@ -108,7 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (err erro
 		return runOptimize(ctx, optimizeArgs{
 			workload: *name, size: *sizeS, scale: *scale, metric: *metric,
 			space: *space, strategy: *strategy, seed: *seed, budget: *budget,
-			constraints: constraints, parallel: parallel,
+			constraints: constraints, parallel: parallel, scratch: *scratch,
 		}, stdout, stderr)
 	}
 	if *name == "" || *param == "" || *values == "" {
@@ -167,11 +168,13 @@ type optimizeArgs struct {
 	seed                   int64
 	budget, parallel       int
 	constraints            []search.Constraint
+	scratch                bool
 }
 
 // runOptimize executes the optimizer mode: the front table and winner
-// line go to stdout (bit-reproducible for a fixed seed), generation
-// progress to stderr.
+// line go to stdout (bit-reproducible for a fixed seed — and identical
+// with or without -scratch), generation progress and the replay-cost
+// summary to stderr.
 func runOptimize(ctx context.Context, a optimizeArgs, stdout, stderr io.Writer) error {
 	if a.workload == "" || a.space == "" {
 		return fmt.Errorf("-workload and -space are required with -optimize")
@@ -183,17 +186,33 @@ func runOptimize(ctx context.Context, a optimizeArgs, stdout, stderr io.Writer) 
 	spec := search.Spec{
 		Workload: a.workload, Size: a.size, Scale: a.scale, Metric: a.metric,
 		Space: dims, Strategy: a.strategy, Budget: a.budget, Seed: a.seed,
-		Constraints: a.constraints, Parallel: a.parallel,
+		Constraints: a.constraints, Parallel: a.parallel, Scratch: a.scratch,
 	}
 	res, err := search.RunProgress(ctx, spec, func(p search.Progress) {
-		fmt.Fprintf(stderr, "gen %d: %d/%d evals, front %d\n", p.Generation, p.Evals, p.Budget, p.FrontSize)
+		fmt.Fprintf(stderr, "gen %d: %d/%d evals, front %d", p.Generation, p.Evals, p.Budget, p.FrontSize)
+		if p.WindowsResumed > 0 {
+			fmt.Fprintf(stderr, ", windows %d resumed + %d replayed", p.WindowsResumed, p.WindowsReplayed)
+		}
+		fmt.Fprintln(stderr)
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(stdout, res.Table().Render())
 	fmt.Fprintln(stdout, res.Summary())
+	if res.RefsScratch > 0 {
+		saved := float64(res.RefsScratch) / float64(max64(res.RefsSimulated, 1))
+		fmt.Fprintf(stderr, "refs: simulated %d of %d scratch (%.2fx saved), eval cache hits %d\n",
+			res.RefsSimulated, res.RefsScratch, saved, res.CacheHits)
+	}
 	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // parseSpace parses 'param=v1,v2;param=v3,v4' into dimensions.

@@ -18,6 +18,7 @@ import (
 // result-producing root it exercises, in types.Func.FullName form.
 var detGateFiles = []string{
 	"internal/core/replay_prefix_test.go",
+	"internal/core/replay_resume_test.go",
 	"internal/core/replay_window_test.go",
 	"internal/search/search_test.go",
 	"internal/service/golden_test.go",

@@ -628,6 +628,20 @@ func (s *System) adoptFrontStats(leader *System) {
 	s.l1d.SetStats(leader.l1d.Stats())
 }
 
+// adoptFront copies the leader's whole L1 front end — architectural
+// state and statistics — onto this follower. The prefix replay engine
+// uses it instead of adoptFrontStats so every system it returns is
+// individually checkpointable: a follower's own L1 was never exercised
+// (applyTap fed it backend events only), and a checkpoint that froze
+// that pristine front could not resume as a leader or solo system. The
+// clone is exactly the L1 a solo replay would have left, because the
+// shared front guarantees identical configuration over an identical
+// reference stream.
+func (s *System) adoptFront(leader *System) {
+	s.l1i = leader.l1i.Clone()
+	s.l1d = leader.l1d.Clone()
+}
+
 // allocatePolicy implements the paper's allocation pipeline: no filter
 // means allocate-on-every-miss; with the unit-stride filter a stream is
 // allocated only on a filter hit; references rejected by the unit

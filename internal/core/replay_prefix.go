@@ -3,8 +3,11 @@
 // of a recorded trace. Successive halving (internal/search) scores
 // cheap early rungs this way — one decode pass feeds every candidate,
 // with the shared-front tap when the configurations allow it — and
-// re-evaluates survivors on progressively longer prefixes, so most of
-// the budget is spent decoding short prefixes instead of full traces.
+// extends survivors onto progressively longer prefixes. The From
+// variant resumes a previous prefix replay at a window boundary via the
+// store's O(1) seek index, so with checkpointed candidates each rung
+// replays only the windows the previous rung has not seen (DESIGN.md
+// §12).
 package core
 
 import (
@@ -25,30 +28,56 @@ import (
 //
 //simlint:deterministic
 func ReplayStoreMultiPrefix(ctx context.Context, systems []*System, st *trace.Store, windows int) error {
+	return ReplayStoreMultiPrefixFrom(ctx, systems, st, 0, windows)
+}
+
+// ReplayStoreMultiPrefixFrom replays the sample windows [fromWindow,
+// toWindow) of a recorded trace through every system, seeking the
+// decoder to fromWindow's boundary in O(1) via the store's window
+// index. toWindow <= 0 or beyond the window count means the end of the
+// trace; fromWindow is clamped to [0, toWindow]. The decoder's ring
+// predictors are part of the seek state, so the delivered stream is
+// byte-for-byte the suffix a from-scratch prefix replay would deliver:
+// extending systems restored from a Checkpoint taken at fromWindow
+// produces scores identical to replaying [0, toWindow) from scratch.
+// On every exit each returned system is individually resumable — in a
+// shared-front fan-out the followers adopt the leader's L1 state
+// before returning (see System.adoptFront).
+//
+//simlint:deterministic
+func ReplayStoreMultiPrefixFrom(ctx context.Context, systems []*System, st *trace.Store, fromWindow, toWindow int) error {
 	if len(systems) == 0 {
 		return nil
 	}
-	refs := st.Len()
-	if windows > 0 && windows < st.WindowCount() {
-		refs = 0
-		for w := 0; w < windows; w++ {
-			refs += st.WindowLen(w)
-		}
+	if toWindow <= 0 || toWindow > st.WindowCount() {
+		toWindow = st.WindowCount()
+	}
+	if fromWindow < 0 {
+		fromWindow = 0
+	}
+	if fromWindow > toWindow {
+		fromWindow = toWindow
+	}
+	refs := st.PrefixLen(toWindow) - st.PrefixLen(fromWindow)
+	if refs == 0 {
+		return nil
 	}
 	done := ctx.Done()
 	buf := make([]uint64, trace.ReplayBatchLen)
-	it := st.Iter()
+	it := st.IterAtWindow(fromWindow)
 	var leader *System
 	var followers []*System
 	if len(systems) > 1 && sharedFront(systems) {
 		leader, followers = systems[0], systems[1:]
 		leader.tap = make([]uint64, 0, trace.ReplayBatchLen)
 		defer func() {
-			// Followers adopt the shared-front statistics on every exit,
-			// so a cancelled replay still leaves each system describing
-			// the same consumed prefix.
+			// Followers adopt the shared front on every exit — state as
+			// well as statistics — so a cancelled replay still leaves each
+			// system describing the same consumed prefix, and any system
+			// can be checkpointed and later resume as a leader (or solo)
+			// with a correct L1 of its own.
 			for _, sys := range followers {
-				sys.adoptFrontStats(leader)
+				sys.adoptFront(leader)
 			}
 			leader.tap = nil
 		}()
@@ -81,4 +110,17 @@ func ReplayStoreMultiPrefix(ctx context.Context, systems []*System, st *trace.St
 		}
 	}
 	return nil
+}
+
+// FullReplayResumable reports whether a zero-option full-trace replay
+// of st over these systems is an exact sequential pass — the case when
+// ReplayStoreMultiWindowed declines to shard (trace too small for a
+// chunk plan, or hook-carrying systems). Only then may a final
+// full-trace evaluation be resumed from a prefix checkpoint via
+// ReplayStoreMultiPrefixFrom and still reproduce the windowed engine's
+// numbers byte-for-byte; on shardable traces the windowed engine's
+// warmup-bounded approximation is the score of record and callers must
+// re-run it from scratch.
+func FullReplayResumable(systems []*System, st *trace.Store) bool {
+	return planShards(st.WindowCount(), 0) < 2 || hooked(systems)
 }

@@ -15,5 +15,5 @@ func runGrid(ctx context.Context, ev *evaluator, onProgress func(Progress)) (*Re
 	if onProgress != nil {
 		onProgress(progressFor(s, 0, ev.evals, 0, evals, bestOf(s.Metric, evals)))
 	}
-	return finishResult(s, ev.evals, evals), nil
+	return finishResult(ev, evals), nil
 }

@@ -1,9 +1,16 @@
 // Successive halving: score a seeded pool of candidates on a short
 // trace prefix, keep the top half, double the prefix, repeat until the
 // finalists replay the full trace. Early rungs are cheap (the prefix
-// engine decodes the first windows once per generation), so most of
-// the evaluation budget buys breadth where it matters least to be
-// exact and depth where it matters most.
+// engine decodes the first windows once per generation), and with the
+// checkpointed incremental layer each surviving lineage processes each
+// trace window at most once: the evaluator snapshots every candidate
+// at its rung boundary, survivors restore and replay only the newly
+// added windows, repeated window counts (the minRungWindows floor) are
+// served from the eval memo, and eliminated candidates release their
+// snapshots right after selection. Scores — and therefore survivor
+// sets, winners and fronts — are byte-identical to re-simulating every
+// rung from window 0 (Spec.Scratch forces that behaviour for the CI
+// equivalence gate).
 package search
 
 import (
@@ -62,6 +69,10 @@ func runHalving(ctx context.Context, ev *evaluator, onProgress func(Progress)) (
 				break
 			}
 		}
+		// Only this rung's pool can ever be extended again: release the
+		// checkpoints of everything eliminated or trimmed away.
+		ev.releaseStates(pool)
+
 		evals, err := ev.evaluate(ctx, pool, w)
 		if err != nil {
 			return nil, err
@@ -72,22 +83,25 @@ func runHalving(ctx context.Context, ev *evaluator, onProgress func(Progress)) (
 		order := rankByScore(s.Metric, evals)
 		best = &evals[order[0]]
 		if onProgress != nil {
-			onProgress(progressFor(s, r, ev.evals, w, full, best))
+			p := progressFor(s, r, ev.evals, w, full, best)
+			p.WindowsResumed, p.WindowsReplayed = ev.lastResumed, ev.lastReplayed
+			onProgress(p)
 		}
 		if r == rungs-1 {
 			break
 		}
-		keep := (len(pool) + 1) / 2
-		next := make([]candidate, keep)
+		keepN := (len(pool) + 1) / 2
+		next := make([]candidate, keepN)
 		// Survivors keep their rank order, so the next rung's pool —
 		// and with it every later decision — is a pure function of the
 		// scores, which the replay engines make machine-independent.
-		for k := 0; k < keep; k++ {
+		for k := 0; k < keepN; k++ {
 			next[k] = pool[order[k]]
 		}
 		pool = next
 	}
-	r := finishResult(s, ev.evals, full)
+	ev.releaseStates(nil) // the run is over; nothing resumes past here
+	r := finishResult(ev, full)
 	if r.Winner == nil && best != nil && satisfies(*best, s.Constraints) {
 		// Budget ran out before any full-trace rung: report the deepest
 		// prefix best honestly, Windows marking the partial evidence.

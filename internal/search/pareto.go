@@ -78,5 +78,5 @@ func runPareto(ctx context.Context, ev *evaluator, onProgress func(Progress)) (*
 		}
 		pool = next
 	}
-	return finishResult(s, ev.evals, full), nil
+	return finishResult(ev, full), nil
 }

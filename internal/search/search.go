@@ -112,6 +112,13 @@ type Spec struct {
 	// split across. 0 and 1 both mean one group. Results are identical
 	// at any width; only wall-clock time changes.
 	Parallel int `json:"parallel,omitempty"`
+	// Scratch disables the checkpointed incremental-replay layer:
+	// every halving rung then re-simulates survivors from window 0 and
+	// no evaluation is served from the eval memo — the pre-checkpoint
+	// behaviour. Winners, fronts and eval counts are identical either
+	// way; the flag exists for benchmarking the saving and for the CI
+	// equivalence gate (make optimize-smoke).
+	Scratch bool `json:"scratch,omitempty"`
 }
 
 // WithDefaults fills unset optional fields; the service hashes the
@@ -286,6 +293,13 @@ type Progress struct {
 	// Windows is the prefix length this generation was scored on
 	// (0 = full trace).
 	Windows int `json:"windows,omitempty"`
+	// WindowsResumed and WindowsReplayed split the generation's window
+	// work across its candidates: windows skipped by restoring rung
+	// checkpoints versus windows actually replayed. Both zero for
+	// strategies that don't checkpoint (pareto, grid) and under
+	// Spec.Scratch.
+	WindowsResumed  int `json:"windows_resumed,omitempty"`
+	WindowsReplayed int `json:"windows_replayed,omitempty"`
 	// FrontSize is len(Front).
 	FrontSize int `json:"front_size"`
 	// Best is the best-scoring evaluation of the deepest rung reached.
@@ -310,6 +324,17 @@ type Result struct {
 	// Peak is the best-objective full-trace evaluation regardless of
 	// constraints — the reference for CheapestWithin.
 	Peak *Eval `json:"peak,omitempty"`
+	// RefsSimulated counts the trace references actually replayed, and
+	// RefsScratch the references the same evaluations would have
+	// replayed without the incremental layer (they are equal under
+	// Spec.Scratch). Their ratio is the checkpoint/memo saving the
+	// optimize-smoke gate asserts.
+	RefsSimulated int64 `json:"refs_simulated,omitempty"`
+	RefsScratch   int64 `json:"refs_scratch,omitempty"`
+	// CacheHits counts evaluations served from the eval memo without
+	// replaying anything (still charged against Budget, so budget
+	// accounting matches a scratch run exactly).
+	CacheHits int `json:"cache_hits,omitempty"`
 }
 
 // CheapestWithin returns the cheapest front configuration whose
@@ -376,15 +401,21 @@ func (r *Result) Table() *tab.Table {
 	return t
 }
 
-// evalsTotal and lastFrontSize back the service's search_* gauges.
+// evalsTotal, evalCacheHits and lastFrontSize back the service's
+// search_* gauges.
 var (
 	evalsTotal    atomic.Uint64
+	evalCacheHits atomic.Uint64
 	lastFrontSize atomic.Int64
 )
 
 // EvalsTotal reports the number of candidate evaluations this process
 // has performed across all optimizations.
 func EvalsTotal() uint64 { return evalsTotal.Load() }
+
+// EvalCacheHits reports how many of those evaluations were served from
+// the generation-spanning eval memo without replaying anything.
+func EvalCacheHits() uint64 { return evalCacheHits.Load() }
 
 // LastFrontSize reports the Pareto-front size of the most recent
 // optimization (its latest generation while one is running).
@@ -411,6 +442,10 @@ func RunProgress(ctx context.Context, s Spec, onProgress func(Progress)) (*Resul
 		return nil, err
 	}
 	ev := &evaluator{spec: s, tr: tr, prices: cost.DefaultPrices()}
+	if !s.Scratch {
+		ev.memo = make(map[string]Eval)
+		ev.states = make(map[string]*evalState)
+	}
 	var res *Result
 	switch s.Strategy {
 	case "pareto":
@@ -428,9 +463,18 @@ func RunProgress(ctx context.Context, s Spec, onProgress func(Progress)) (*Resul
 }
 
 // finishResult assembles front, peak and winner from the full-trace
-// evaluations, ascending cost on the front, ties by candidate order.
-func finishResult(s Spec, evals int, full []Eval) *Result {
-	r := &Result{Spec: s, Evals: evals, Front: computeFront(s.Metric, full)}
+// evaluations, ascending cost on the front, ties by candidate order,
+// plus the evaluator's replay-cost accounting.
+func finishResult(ev *evaluator, full []Eval) *Result {
+	s := ev.spec
+	r := &Result{
+		Spec:          s,
+		Evals:         ev.evals,
+		Front:         computeFront(s.Metric, full),
+		RefsSimulated: ev.refsSim,
+		RefsScratch:   ev.refsScr,
+		CacheHits:     ev.cacheHits,
+	}
 	best := func(eligible func(Eval) bool) *Eval {
 		var b *Eval
 		for i := range full {

@@ -60,6 +60,69 @@ func TestRunDeterministicAcrossParallel(t *testing.T) {
 	}
 }
 
+// TestScratchMatchesIncremental is the checkpoint layer's equivalence
+// gate at package level: for every strategy, a run with the
+// incremental-replay layer enabled must decide exactly what a
+// Spec.Scratch run decides — same winner, front, peak, eval count and
+// per-eval scores — while halving actually replays fewer references
+// and serves the floored repeated rungs from the eval memo. Only the
+// replay-cost accounting fields may differ.
+func TestScratchMatchesIncremental(t *testing.T) {
+	ctx := context.Background()
+	for _, strategy := range []string{"halving", "pareto", "grid"} {
+		t.Run(strategy, func(t *testing.T) {
+			run := func(scratch bool) *Result {
+				s := tinySpec()
+				// applu's small input is an 8-window trace, so halving's
+				// rung schedule hits the minRungWindows floor: repeated
+				// window counts exercise the eval memo, not just the
+				// checkpoint resume.
+				s.Workload = "applu"
+				s.Strategy = strategy
+				s.Scratch = scratch
+				r, err := Run(ctx, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			scratch := run(true)
+			incr := run(false)
+			if scratch.RefsSimulated != scratch.RefsScratch {
+				t.Errorf("scratch run claims a saving: simulated %d of %d",
+					scratch.RefsSimulated, scratch.RefsScratch)
+			}
+			if incr.RefsScratch != scratch.RefsScratch {
+				t.Errorf("scratch-equivalent work diverges: %d vs %d",
+					incr.RefsScratch, scratch.RefsScratch)
+			}
+			if strategy == "halving" {
+				if incr.RefsSimulated >= scratch.RefsSimulated {
+					t.Errorf("incremental halving replayed %d refs, scratch %d — no saving",
+						incr.RefsSimulated, scratch.RefsSimulated)
+				}
+				if incr.CacheHits == 0 {
+					t.Error("incremental halving served no evaluation from the memo")
+				}
+			}
+			// Decisions must be byte-identical; only the cost accounting
+			// may differ between the two modes.
+			norm := func(r *Result) string {
+				r.Spec.Scratch = false
+				r.RefsSimulated, r.RefsScratch, r.CacheHits = 0, 0, 0
+				b, err := json.Marshal(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(b)
+			}
+			if got, want := norm(incr), norm(scratch); got != want {
+				t.Errorf("incremental result diverges from scratch:\ngot  %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
 // TestHalvingMatchesGridWinner checks the optimize-smoke property at
 // package level: on a space the budget can cover, seeded successive
 // halving converges on the same winner the exhaustive grid finds.

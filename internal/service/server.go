@@ -127,6 +127,7 @@ func (s *Server) initMetrics() {
 	gauge("replay_fanout_width", func() any { return core.LastFanOutWidth() })
 	gauge("replay_window_shards", func() any { return core.LastWindowShards() })
 	gauge("search_evals_total", func() any { return search.EvalsTotal() })
+	gauge("search_eval_cache_hits_total", func() any { return search.EvalCacheHits() })
 	gauge("search_front_size", func() any { return search.LastFrontSize() })
 	gauge("refs_per_sec", func() any {
 		up := now().Sub(s.start).Seconds()

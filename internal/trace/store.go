@@ -319,6 +319,22 @@ func (s *Store) WindowLen(w int) int {
 	return WindowRefs
 }
 
+// PrefixLen returns the number of accesses in the first w windows —
+// the cumulative sum of WindowLen over [0, w) — clamped to the store's
+// length for w at or beyond the window count. Every window except the
+// last holds exactly WindowRefs accesses, so the sum is closed-form;
+// the prefix and resume replay engines use it instead of a per-call
+// summation loop.
+func (s *Store) PrefixLen(w int) int {
+	if w <= 0 {
+		return 0
+	}
+	if w >= s.WindowCount() {
+		return s.n
+	}
+	return w * WindowRefs
+}
+
 // WindowOffsets returns, for each window, the byte offset into the
 // address stream at which its records begin. Offsets come from the
 // append-time index; a store without one (or with a stale one) pays a

@@ -74,6 +74,73 @@ func TestStoreWindowIndexSeeks(t *testing.T) {
 	}
 }
 
+// TestStorePrefixLen checks the closed-form cumulative window length
+// against a per-window summation loop, including the clamp at and
+// beyond the window count and the zero floor for non-positive w.
+func TestStorePrefixLen(t *testing.T) {
+	const n = 3*WindowRefs + 1234
+	s := NewStore(n)
+	for _, a := range randomAccesses(n) {
+		s.Append(a)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	K := s.WindowCount()
+	sum := 0
+	for w := 0; w <= K; w++ {
+		if got := s.PrefixLen(w); got != sum {
+			t.Errorf("PrefixLen(%d) = %d, want %d", w, got, sum)
+		}
+		if w < K {
+			sum += s.WindowLen(w)
+		}
+	}
+	for _, w := range []int{-1, -WindowRefs} {
+		if got := s.PrefixLen(w); got != 0 {
+			t.Errorf("PrefixLen(%d) = %d, want 0", w, got)
+		}
+	}
+	for _, w := range []int{K, K + 1, K * 10} {
+		if got := s.PrefixLen(w); got != n {
+			t.Errorf("PrefixLen(%d) = %d, want the full length %d", w, got, n)
+		}
+	}
+}
+
+// TestStoreIterAtWindowScanFallbackResumes exercises the resume path
+// the checkpointed replay engine depends on when a store carries no
+// append-time seek index (an index-less store forces windowMarks onto
+// the memoized one-pass scan): a mid-trace IterAtWindow must deliver
+// exactly the sequential suffix, and repeated seeks must reuse the
+// scanned index rather than rebuild it.
+func TestStoreIterAtWindowScanFallbackResumes(t *testing.T) {
+	const n = 5*WindowRefs + 321
+	accs := randomAccesses(n)
+	s := NewStore(n)
+	for _, a := range accs {
+		s.Append(a)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s.marks = nil // discard the append-time index: v1-style store
+
+	seq := decodeAll(s.Iter(), n)
+	for _, w := range []int{1, 2, s.WindowCount() / 2, s.WindowCount() - 1} {
+		got := decodeAll(s.IterAtWindow(w), n-w*WindowRefs)
+		if !reflect.DeepEqual(got, seq[w*WindowRefs:]) {
+			t.Fatalf("window %d: scan-fallback seeked decode diverges from sequential decode", w)
+		}
+	}
+
+	first := s.windowMarks()
+	second := s.windowMarks()
+	if len(first) == 0 || &first[0] != &second[0] {
+		t.Fatal("repeated windowMarks() calls did not reuse the memoized scan index")
+	}
+}
+
 // TestStoreWindowScanFallbackMatchesAppend pins the memoized scan
 // against the append-time marks: a store whose index is discarded must
 // rebuild byte-for-byte identical seek state from one decode pass.
