@@ -24,9 +24,10 @@ lint-baseline:
 
 # lint-fixtures runs the analyzers' own test suites: the analysistest
 # fixtures under internal/analysis/*/testdata (flagged and allowed code
-# for every rule), the driver and call-graph unit tests, and the
-# static-vs-runtime set matches at the repo root (hot-path vs alloc
-# gates, deterministic roots vs equivalence gates).
+# for every rule, including statecov's dropped-field and mergesound's
+# clobbered-counter snapshot fixtures), the driver and call-graph unit
+# tests, and the static-vs-runtime set matches at the repo root
+# (hot-path vs alloc gates, deterministic roots vs equivalence gates).
 lint-fixtures:
 	$(GO) test ./internal/analysis/... ./cmd/simlint
 	$(GO) test -run 'TestHotpathStaticMatchesAllocGates|TestDetflowStaticMatchesEquivalenceGates' .

@@ -15,11 +15,14 @@
 //	lockdisc    mutex discipline in the service and sweep layers
 //	borrowck    //simlint:borrowed parameters not retained past the call
 //	detflow     //simlint:deterministic roots transitively deterministic
+//	statecov    //simlint:statefull handlers cover every //simlint:state field
+//	mergesound  merge-class handlers combine counters additively, never overwrite
 //	directives  every //simlint:* comment parses, resolves and attaches
 //
 // The call-graph-aware passes (hotpath, ctxflow, lockdisc, borrowck,
-// detflow) share one set of module facts (internal/analysis/callgraph)
-// built per run over every loaded package.
+// detflow, statecov, mergesound) share one set of module facts
+// (internal/analysis/callgraph) built per run over every loaded
+// package.
 //
 // Usage:
 //
@@ -58,8 +61,10 @@ import (
 	"streamsim/internal/analysis/ledgerpost"
 	"streamsim/internal/analysis/lockdisc"
 	"streamsim/internal/analysis/maporder"
+	"streamsim/internal/analysis/mergesound"
 	"streamsim/internal/analysis/pow2size"
 	"streamsim/internal/analysis/seededrand"
+	"streamsim/internal/analysis/statecov"
 )
 
 // analyzers is the full suite, in reporting order.
@@ -74,6 +79,8 @@ var analyzers = []*analysis.Analyzer{
 	lockdisc.Analyzer,
 	borrowck.Analyzer,
 	detflow.Analyzer,
+	statecov.Analyzer,
+	mergesound.Analyzer,
 	directives.Analyzer,
 }
 
@@ -145,7 +152,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		for _, r := range records {
-			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", r.File, r.Line, r.Col, r.Analyzer, r.Message)
+			// Warn-tier findings carry a "warning:" marker so the CI
+			// problem matcher annotates them at the right severity;
+			// error-tier lines keep the bare format.
+			sev := ""
+			if r.Severity == analysis.SeverityWarn {
+				sev = "warning: "
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s%s\n", r.File, r.Line, r.Col, r.Analyzer, sev, r.Message)
 		}
 	}
 	errs, warns := 0, 0

@@ -51,4 +51,70 @@ func suppressions() {
 	_ = 2
 	//simlint:ignore // want `//simlint:ignore names no analyzers; say which findings are waived`
 	_ = 3
+	//simlint:ignore statecov,mergesound
+	_ = 4
+}
+
+// Ledger is a well-formed counters struct with a class-scoped and a
+// global exemption.
+//
+//simlint:state counters
+//simlint:statederived Total
+//simlint:statederived Spill merge adopt
+type Ledger struct {
+	Hits  uint64
+	Total uint64
+	Spill uint64
+}
+
+// Engine is a well-formed plain state struct.
+//
+//simlint:state
+type Engine struct {
+	Ledger
+	ticks uint64
+}
+
+// GoodMerge carries a known class.
+//
+//simlint:statefull merge
+func (e *Engine) GoodMerge(o *Engine) { e.ticks += o.ticks }
+
+// Fahrenheit is annotated state but is no struct.
+//
+//simlint:state // want `//simlint:state must annotate a struct type; Fahrenheit is not a struct`
+type Fahrenheit float64
+
+// Sized passes an argument other than the counters kind.
+//
+//simlint:state sized // want `//simlint:state takes no argument other than the "counters" kind`
+type Sized struct{ n int }
+
+// Loose rides on a struct that never declares itself state.
+//
+//simlint:statederived n // want `//simlint:statederived on Loose is orphaned: the type carries no //simlint:state directive`
+type Loose struct{ n int }
+
+// Misfield names a field the struct does not have; Misclass restricts
+// to an unknown class; Unnamed forgets the field.
+//
+//simlint:state
+//simlint:statederived gone // want `//simlint:statederived names "gone", which is not a field of Misfield`
+//simlint:statederived n mangle // want `//simlint:statederived names unknown class "mangle"`
+//simlint:statederived // want `//simlint:statederived names no field; say which field is exempt`
+type Misfield struct{ n int }
+
+// ClassyLess forgets its class, ClassyWrong misspells it.
+//
+//simlint:statefull // want `//simlint:statefull needs exactly one class argument \(fork, clone, merge, adopt, reset, restore or checkpoint\)`
+func ClassyLess() {}
+
+//simlint:statefull mangle // want `//simlint:statefull names unknown class "mangle"`
+func ClassyWrong() {}
+
+func stateOrphans() {
+	//simlint:state // want `//simlint:state is not attached to a type declaration; the annotation is dead`
+	//simlint:statefull merge // want `//simlint:statefull is not attached to a function declaration; the annotation is dead`
+	//simlint:statederived n // want `//simlint:statederived is not attached to a type declaration; the annotation is dead`
+	_ = 0
 }

@@ -1,0 +1,279 @@
+// Package mergesound enforces additive combination inside merge-class
+// snapshot handlers: within the static call closure of a
+// //simlint:statefull merge function, a field of a //simlint:state
+// struct may be combined (+=, ++, x.Add(y), AddStats) but never plainly
+// overwritten. A merge folds a shard's counters into an accumulator; a
+// plain assignment silently discards everything the accumulator already
+// held, which is precisely the last-shard-wins bug the window-sharded
+// replay engine cannot tolerate.
+//
+// Overwriting is the job of the adopt/restore/reset classes
+// (SetStats and friends), so those handlers are exempt — and calling
+// one from inside a merge closure is itself a finding.
+//
+// Two escapes keep the rule precise rather than syntactic:
+//
+//   - an assignment whose right-hand side reads the same field of the
+//     same variable is a rebuild, not an overwrite: the sum-literal
+//     idiom `s.bw = Bandwidth{X: s.bw.X + o.bw.X, ...}` and the
+//     value-Add idiom `s.stats = s.stats.Add(o)` both pass;
+//   - an assignment through a value-typed root mutates a local copy
+//     (a getter filling in derived fields, a value receiver building
+//     its return), never live state, and is skipped.
+//
+// The walk stops at any other //simlint:statefull callee: merge-class
+// callees are verified as their own roots, and the deep-copy classes
+// build fresh state where overwriting is the point.
+package mergesound
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"streamsim/internal/analysis"
+	"streamsim/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:            "mergesound",
+	Doc:             "//simlint:statefull merge handlers must combine counters additively, never plain-assign",
+	PackagePrefixes: []string{"streamsim/internal"},
+	Facts:           callgraph.Facts,
+	FactsKey:        callgraph.FactsKey,
+	Run:             run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.From(pass)
+	if g == nil {
+		return fmt.Errorf("mergesound requires call-graph facts")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn := g.Decls[fd]; fn != nil && fn.StatefullClass == "merge" {
+				checkRoot(pass, g, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// step records how the BFS first reached a function, for chain
+// reconstruction (same shape as hotpath).
+type step struct {
+	from *callgraph.Func
+	pos  token.Pos
+}
+
+// violation is one unsound construct found in a visited function.
+type violation struct {
+	pos  token.Pos
+	what string
+}
+
+// checkRoot walks the merge closure from root, stopping at other
+// statefull handlers, and reports every overwrite it finds with the
+// chain root → … → callee.
+func checkRoot(pass *analysis.Pass, g *callgraph.Graph, root *callgraph.Func) {
+	parent := map[*callgraph.Func]step{}
+	queue := []*callgraph.Func{root}
+	seen := map[*callgraph.Func]bool{root: true}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, v := range scanOverwrites(g, fn) {
+			report(pass, root, parent, fn, v)
+		}
+		for _, call := range fn.Calls {
+			callee := call.Callee
+			if callee.StatefullClass != "" {
+				if callgraph.OverwriteClass(callee.StatefullClass) {
+					report(pass, root, parent, fn, violation{
+						pos: call.Pos,
+						what: fmt.Sprintf("calls %s, a //simlint:statefull %s overwrite handler",
+							callee.Short(), callee.StatefullClass),
+					})
+				}
+				// Merge-class callees are their own roots; deep-copy
+				// classes build fresh state. Either way, stop here.
+				continue
+			}
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			parent[callee] = step{from: fn, pos: call.Pos}
+			queue = append(queue, callee)
+		}
+	}
+}
+
+// scanOverwrites finds plain assignments to live state-struct fields in
+// fn's body. Op-assignments (+=) and ++/-- are additive by construction
+// and never flagged.
+func scanOverwrites(g *callgraph.Graph, fn *callgraph.Func) []violation {
+	info := fn.Pkg.TypesInfo
+	var out []violation
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				continue
+			}
+			ss := g.StateOf(s.Recv())
+			if ss == nil {
+				continue
+			}
+			if !liveRoot(info, sel) {
+				continue
+			}
+			field := s.Obj().Name()
+			rhs := as.Rhs
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i : i+1]
+			}
+			if readsSameField(g, info, rhs, ss.Key, field, rootObject(info, sel)) {
+				continue
+			}
+			out = append(out, violation{
+				pos:  sel.Pos(),
+				what: fmt.Sprintf("plain-assigns %s.%s", ss.Short(), field),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// liveRoot reports whether the selector chain reaches live state: it
+// passes through a pointer somewhere between its base and the assigned
+// field. A chain rooted entirely in value-typed locals mutates a copy,
+// which no merge can corrupt.
+func liveRoot(info *types.Info, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+					return true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// rootObject resolves the base identifier's object of a selector chain,
+// so a rebuild can be required to read from the same variable it
+// assigns (s.stats = s.stats.Add(o) passes; s.stats = o.stats does
+// not — that overwrites s's ledger with o's).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// readsSameField reports whether any of the right-hand sides reads the
+// same field of the same root variable the assignment writes.
+func readsSameField(g *callgraph.Graph, info *types.Info, rhs []ast.Expr, key, field string, root types.Object) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	for _, e := range rhs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			ss := g.StateOf(s.Recv())
+			if ss == nil || ss.Key != key || s.Obj().Name() != field {
+				return true
+			}
+			if rootObject(info, sel) == root {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// report emits one diagnostic for a violation in fn, reached from root,
+// anchored at the deepest position still inside the package being
+// analyzed (hotpath's anchoring rule).
+func report(pass *analysis.Pass, root *callgraph.Func, parent map[*callgraph.Func]step, fn *callgraph.Func, v violation) {
+	var chain []*callgraph.Func
+	var sites []token.Pos
+	for at := fn; at != root; {
+		st := parent[at]
+		chain = append([]*callgraph.Func{at}, chain...)
+		sites = append([]token.Pos{st.pos}, sites...)
+		at = st.from
+	}
+	chain = append([]*callgraph.Func{root}, chain...)
+
+	anchor := v.pos
+	if fn.Pkg != pass.Pkg {
+		anchor = sites[len(sites)-1]
+		for i := len(chain) - 2; i >= 0; i-- {
+			if chain[i].Pkg == pass.Pkg {
+				anchor = sites[i]
+				break
+			}
+		}
+	}
+	p := pass.Fset.Position(v.pos)
+	where := fmt.Sprintf("%s (%s:%d)", v.what, filepath.Base(p.Filename), p.Line)
+	if len(chain) == 1 {
+		pass.Reportf(anchor, "%s is //simlint:statefull merge but %s; counters must combine additively (+=, .Add, AddStats)",
+			root.Short(), where)
+		return
+	}
+	path := root.Short()
+	for _, f := range chain[1:] {
+		path += " → " + f.Short()
+	}
+	pass.Reportf(anchor, "%s is //simlint:statefull merge but via %s %s; counters must combine additively (+=, .Add, AddStats)",
+		root.Short(), path, where)
+}

@@ -1,0 +1,12 @@
+package mergesound_test
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+	"streamsim/internal/analysis/mergesound"
+)
+
+func TestMergesound(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), mergesound.Analyzer, "mgs")
+}

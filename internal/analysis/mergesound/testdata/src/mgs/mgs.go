@@ -1,0 +1,131 @@
+// Package mgs exercises the mergesound analyzer: inside the static
+// call closure of a //simlint:statefull merge handler, state-struct
+// counters must combine additively — plain assignment and calls into
+// overwrite-class handlers are findings, while the sum-literal and
+// value-Add rebuild idioms, value-rooted copies, and op-assignments
+// all pass.
+package mgs
+
+//simlint:state counters
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+//simlint:state
+type Comp struct {
+	tags  []uint64
+	stats Stats
+}
+
+//simlint:state
+type Sys struct {
+	comp *Comp
+	bw   Stats
+}
+
+// Add is the value-receiver combine idiom: op-assigns on a copy,
+// returned to the caller.
+func (a Stats) Add(b Stats) Stats {
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	return a
+}
+
+// AddStats is the canonical additive merge: nothing to report.
+//
+//simlint:statefull merge
+func (c *Comp) AddStats(o Stats) {
+	c.stats.Hits += o.Hits
+	c.stats.Misses += o.Misses
+}
+
+// SetStats is the overwrite handler: legal in its own adopt class.
+//
+//simlint:statefull adopt
+func (c *Comp) SetStats(o Stats) {
+	c.stats = o
+}
+
+// Stats returns a copy with a derived field filled in; the plain
+// assignment roots at a value-typed local, so it can never clobber
+// live state and is not a finding even when reached from a merge.
+func (c *Comp) Stats() Stats {
+	st := c.stats
+	st.Misses = c.stats.Misses
+	return st
+}
+
+// Merge uses the sum-literal rebuild: the right-hand side reads the
+// same field of the same variable it assigns, so it is a combine.
+//
+//simlint:statefull merge
+func (s *Sys) Merge(o *Sys) {
+	s.comp.AddStats(o.comp.stats)
+	s.bw = Stats{Hits: s.bw.Hits + o.bw.Hits, Misses: s.bw.Misses + o.bw.Misses}
+}
+
+// MergeAdd uses the value-Add rebuild; the callee is an ordinary
+// function, so the closure also proves its op-assigns are clean.
+//
+//simlint:statefull merge
+func (s *Sys) MergeAdd(o *Sys) {
+	s.comp.AddStats(o.comp.stats)
+	s.bw = s.bw.Add(o.bw)
+}
+
+// MergeWithGetter reaches the getter's value-rooted assignment through
+// the closure without flagging it.
+//
+//simlint:statefull merge
+func (c *Comp) MergeWithGetter(o *Comp) {
+	st := o.Stats()
+	c.stats.Hits += st.Hits
+	c.stats.Misses += st.Misses
+}
+
+// MergeOverwrite drops the accumulator's Misses count on the floor.
+//
+//simlint:statefull merge
+func (c *Comp) MergeOverwrite(o *Comp) {
+	c.stats.Hits += o.stats.Hits
+	c.stats.Misses = o.stats.Misses // want `\(\*mgs\.Comp\)\.MergeOverwrite is //simlint:statefull merge but plain-assigns mgs\.Stats\.Misses \(mgs\.go:\d+\); counters must combine additively \(\+=, \.Add, AddStats\)`
+}
+
+// MergeOuter delegates to a merge-class callee: the walk stops there
+// (MergeOverwrite is verified as its own root), so the violation above
+// is reported exactly once.
+//
+//simlint:statefull merge
+func (c *Comp) MergeOuter(o *Comp) {
+	c.MergeOverwrite(o)
+}
+
+// MergeSteal reads the right field of the wrong variable: overwriting
+// s's ledger with o's is last-shard-wins, not a combine.
+//
+//simlint:statefull merge
+func (s *Sys) MergeSteal(o *Sys) {
+	s.comp.AddStats(o.comp.stats)
+	s.bw = o.bw // want `\(\*mgs\.Sys\)\.MergeSteal is //simlint:statefull merge but plain-assigns mgs\.Sys\.bw \(mgs\.go:\d+\); counters must combine additively`
+}
+
+// clobber is an unannotated helper: the closure walks into it and the
+// finding carries the chain from the merge root.
+func clobber(c *Comp, o Stats) {
+	c.stats = o // want `\(\*mgs\.Comp\)\.MergeVia is //simlint:statefull merge but via \(\*mgs\.Comp\)\.MergeVia → mgs\.clobber plain-assigns mgs\.Comp\.stats \(mgs\.go:\d+\); counters must combine additively`
+}
+
+//simlint:statefull merge
+func (c *Comp) MergeVia(o *Comp) {
+	clobber(c, o.stats)
+}
+
+// MergeSet launders the overwrite through the adopt-class handler.
+//
+//simlint:statefull merge
+func (c *Comp) MergeSet(o *Comp) {
+	c.stats.Hits += o.stats.Hits
+	c.stats.Misses += o.stats.Misses
+	c.SetStats(o.stats) // want `\(\*mgs\.Comp\)\.MergeSet is //simlint:statefull merge but calls \(\*mgs\.Comp\)\.SetStats, a //simlint:statefull adopt overwrite handler \(mgs\.go:\d+\); counters must combine additively`
+}

@@ -1,0 +1,172 @@
+// Package statecov enforces snapshot completeness at compile time: a
+// handler whose doc comment carries //simlint:statefull <class> must
+// read or write every required field of its //simlint:state struct,
+// transitively through static callees. The runtime equivalence tests
+// catch a forgotten field only on the configs they happen to exercise;
+// this analyzer names the field the moment the handler stops covering
+// it — adding a field to System without teaching Fork/Merge/Checkpoint
+// about it becomes a build failure, not a silent divergence between
+// sharded and sequential replay.
+//
+// Which fields are required depends on the handler class:
+//
+//   - fork, clone, checkpoint, restore (the deep-copy classes): every
+//     field of the subject struct. A snapshot that drops a field
+//     resumes from the wrong state.
+//   - adopt, reset: only fields that are themselves //simlint:state
+//     structs (statistics ledgers, component pointers) — or every
+//     field when the subject is a counters-kind struct. These classes
+//     move statistics, not architectural state.
+//   - merge: the adopt/reset set, plus recursive expansion through
+//     value-embedded state structs: a merge that combines a nested
+//     counter block must combine every counter in it. Pointer-typed
+//     components are not expanded — their own AddStats is a merge
+//     root in its own right, so completeness holds by induction.
+//
+// //simlint:statederived <field> [class ...] on the struct exempts a
+// field that is recomputed on read or deliberately owned elsewhere.
+//
+// Coverage facts come from the shared call graph (see
+// callgraph.Func.StateUses for what counts as a use); the closure
+// walks every static callee, so a handler may delegate per-component
+// work (c.l1i.AddStats(...)) and still get credit for the fields the
+// delegate touches.
+package statecov
+
+import (
+	"fmt"
+	"go/ast"
+
+	"streamsim/internal/analysis"
+	"streamsim/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:            "statecov",
+	Doc:             "//simlint:statefull handlers must cover every required field of their //simlint:state struct",
+	PackagePrefixes: []string{"streamsim/internal"},
+	Facts:           callgraph.Facts,
+	FactsKey:        callgraph.FactsKey,
+	Run:             run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.From(pass)
+	if g == nil {
+		return fmt.Errorf("statecov requires call-graph facts")
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn := g.Decls[fd]; fn != nil && fn.StatefullClass != "" {
+				checkHandler(pass, g, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkHandler(pass *analysis.Pass, g *callgraph.Graph, fn *callgraph.Func) {
+	class := fn.StatefullClass
+	if !callgraph.StatefullClasses[class] {
+		// Unknown class: the directives analyzer owns the spelling
+		// diagnostic; without a class there is no required set.
+		return
+	}
+	subject := g.StateSubject(fn)
+	if subject == nil {
+		pass.Reportf(fn.Decl.Name.Pos(),
+			"%s is //simlint:statefull %s but neither its receiver nor any parameter is a //simlint:state struct",
+			fn.Short(), class)
+		return
+	}
+	uses := closureUses(fn)
+	var missing []string
+	visited := map[string]bool{subject.Key: true}
+	checkStruct(g, subject, class, subject.Short(), uses, visited, &missing)
+	for _, path := range missing {
+		pass.Reportf(fn.Decl.Name.Pos(),
+			"%s is //simlint:statefull %s but never reads or writes %s, not even through its static callees; handle the field or exempt it with //simlint:statederived",
+			fn.Short(), class, path)
+	}
+}
+
+// closureUses unions StateUses over everything statically reachable
+// from root. Unlike hotpath, the walk does not stop at other statefull
+// handlers: delegation (Fork calling Clone, Merge calling AddStats) is
+// exactly how coverage is earned.
+func closureUses(root *callgraph.Func) map[string]map[string]bool {
+	uses := map[string]map[string]bool{}
+	seen := map[*callgraph.Func]bool{root: true}
+	queue := []*callgraph.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for key, fields := range fn.StateUses {
+			dst := uses[key]
+			if dst == nil {
+				dst = map[string]bool{}
+				uses[key] = dst
+			}
+			for f := range fields {
+				dst[f] = true
+			}
+		}
+		for _, call := range fn.Calls {
+			if !seen[call.Callee] {
+				seen[call.Callee] = true
+				queue = append(queue, call.Callee)
+			}
+		}
+	}
+	return uses
+}
+
+// checkStruct appends the dotted path of every required-but-uncovered
+// field of ss to missing, in declaration order. visited guards against
+// recursive value embeddings (impossible in valid Go, cheap to guard).
+func checkStruct(g *callgraph.Graph, ss *callgraph.StateStruct, class, prefix string, uses map[string]map[string]bool, visited map[string]bool, missing *[]string) {
+	covered := uses[ss.Key]
+	if covered["*"] {
+		// A whole-value use (*p copy, empty literal) covers every
+		// field and the entire nested subtree at once.
+		return
+	}
+	for _, f := range ss.Fields {
+		if ss.DerivedFor(f.Name, class) {
+			continue
+		}
+		if !requiredField(g, ss, class, f) {
+			continue
+		}
+		path := prefix + "." + f.Name
+		if !covered[f.Name] {
+			*missing = append(*missing, path)
+			continue
+		}
+		// Merge must account for every counter inside a value-embedded
+		// state struct, not just touch the field that holds it.
+		if class == "merge" {
+			if ns := g.ValueStateOf(f.Type); ns != nil && !visited[ns.Key] {
+				visited[ns.Key] = true
+				checkStruct(g, ns, class, path, uses, visited, missing)
+			}
+		}
+	}
+}
+
+// requiredField decides whether class must cover field f of ss: the
+// deep-copy classes need everything, the statistics classes need the
+// state-typed fields — all fields when ss itself is a counters struct.
+func requiredField(g *callgraph.Graph, ss *callgraph.StateStruct, class string, f callgraph.StateField) bool {
+	if callgraph.FullClass(class) {
+		return true
+	}
+	if ss.Counters {
+		return true
+	}
+	return g.StateOf(f.Type) != nil
+}

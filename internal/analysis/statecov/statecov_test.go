@@ -1,0 +1,12 @@
+package statecov_test
+
+import (
+	"testing"
+
+	"streamsim/internal/analysis/analysistest"
+	"streamsim/internal/analysis/statecov"
+)
+
+func TestStatecov(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), statecov.Analyzer, "stc")
+}

@@ -1,0 +1,23 @@
+// Package stcdep supplies a state struct and helpers from a sibling
+// package, so the stc fixture can prove statecov's closure follows
+// coverage across package boundaries via the shared call-graph facts.
+package stcdep
+
+// Tally is a counter block owned by another package.
+//
+//simlint:state counters
+type Tally struct {
+	Ops  uint64
+	Errs uint64
+}
+
+// AddTo folds o into t, covering both fields.
+func AddTo(t *Tally, o Tally) {
+	t.Ops += o.Ops
+	t.Errs += o.Errs
+}
+
+// AddOps covers only Ops, leaving Errs for the caller to forget.
+func AddOps(t *Tally, o Tally) {
+	t.Ops += o.Ops
+}

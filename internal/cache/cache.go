@@ -127,6 +127,12 @@ const invalidTag = ^uint64(0)
 
 // Stats accumulates the observable behaviour of a cache. For a sampled
 // cache the counts cover only the sampled sets.
+//
+// Accesses is derived on read (Stats sums Hits and Misses), so no
+// snapshot handler owes it coverage.
+//
+//simlint:state counters
+//simlint:statederived Accesses
 type Stats struct {
 	// Accesses is the number of sampled references presented. It is
 	// derived (Hits + Misses) when Stats is read, so the access path
@@ -193,6 +199,8 @@ type Result struct {
 // Way i of set s lives at flat index s<<assocShift | i in each of the
 // state arrays; the access path does one address computation instead of
 // chasing a per-set slice header (the per-reference simulator hot path).
+//
+//simlint:state
 type Cache struct {
 	cfg        Config
 	tags       []uint64
@@ -294,12 +302,16 @@ func (c *Cache) Stats() Stats {
 }
 
 // ResetStats clears the counters without disturbing cache contents.
+//
+//simlint:statefull reset
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // AddStats accumulates another cache's counters into this one. The
 // derived Accesses field of the argument is ignored (Stats recomputes
 // it on read). The window-sharded replay engine uses it to merge the
 // per-chunk deltas its forks produce.
+//
+//simlint:statefull merge
 func (c *Cache) AddStats(s Stats) {
 	c.stats.Hits += s.Hits
 	c.stats.Misses += s.Misses
@@ -316,6 +328,8 @@ func (c *Cache) AddStats(s Stats) {
 // replacement-stamp state, and a copy of the statistics and the
 // replacement RNG state. The clone evolves independently of the
 // original from this point on.
+//
+//simlint:statefull clone
 func (c *Cache) Clone() *Cache {
 	n := *c
 	n.tags = append([]uint64(nil), c.tags...)
@@ -470,6 +484,8 @@ func (c *Cache) AddHits(n uint64) { c.stats.Hits += n }
 // the followers adopt its counters instead of re-deriving them
 // reference by reference. Any other use forfeits the invariant that
 // stats describe this cache's own history.
+//
+//simlint:statefull adopt
 func (c *Cache) SetStats(s Stats) { c.stats = s }
 
 // HitAt does the bookkeeping of a tag match at the way Probe returned:

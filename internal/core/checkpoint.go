@@ -11,6 +11,8 @@ package core
 // Checkpoint is an immutable snapshot of a System mid-replay. It is
 // decoupled from the live system: neither continuing the original
 // replay nor restoring (any number of times) can disturb it.
+//
+//simlint:state
 type Checkpoint struct {
 	sys *System
 }
@@ -20,6 +22,8 @@ type Checkpoint struct {
 // prefetches become wasted), which is the one System mutation that is
 // not an effect of replaying further accesses, so a post-Finish
 // snapshot could not be extended into a longer exact replay.
+//
+//simlint:statefull checkpoint
 func (s *System) Checkpoint() *Checkpoint {
 	return &Checkpoint{sys: snapshotSystem(s)}
 }
@@ -32,6 +36,7 @@ func (s *System) Checkpoint() *Checkpoint {
 // the uninterrupted one would have.
 //
 //simlint:deterministic
+//simlint:statefull restore
 func (c *Checkpoint) Restore() *System {
 	return snapshotSystem(c.sys)
 }
@@ -41,6 +46,8 @@ func (c *Checkpoint) Restore() *System {
 // statistics back, and the three fields outside both (the retired-
 // instruction counter, the finished flag and the scratch outcome) are
 // copied explicitly.
+//
+//simlint:statefull checkpoint
 func snapshotSystem(s *System) *System {
 	n := s.Fork()
 	n.Merge(s)

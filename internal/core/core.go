@@ -130,6 +130,15 @@ func DefaultConfig() Config {
 }
 
 // System is a running memory system. It is not safe for concurrent use.
+//
+// tap is exempt from snapshot coverage everywhere: it is a wiring
+// hook, and the replay engine never shards or checkpoints a
+// hook-carrying system. bw is exempt in adopt only — an adopter keeps
+// its own traffic ledger while taking the front end.
+//
+//simlint:state
+//simlint:statederived tap
+//simlint:statederived bw adopt
 type System struct {
 	cfg      Config
 	geom     mem.Geometry
@@ -167,6 +176,8 @@ const (
 
 // Bandwidth is the block-traffic ledger. All counts are in cache
 // blocks moved between the chip and main memory.
+//
+//simlint:state counters
 type Bandwidth struct {
 	// DemandFetches counts blocks fetched over the fast path (stream
 	// misses, and every fill when streams are disabled).

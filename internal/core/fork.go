@@ -13,8 +13,14 @@ package core
 // later is exactly the work done since the fork. The retired-
 // instruction counter starts at zero too, and the configuration
 // (including any hooks) is shared with the original.
+//
+//simlint:statefull fork
 func (s *System) Fork() *System {
 	n := &System{cfg: s.cfg, geom: s.geom, l1i: s.l1i.Clone(), l1d: s.l1d.Clone()}
+	// Zero values of the composite literal, written out so the fork
+	// visibly decides the replay position and completion flag rather
+	// than inheriting whatever the literal omits.
+	n.instructions, n.finished = 0, false
 	if s.victimI != nil {
 		n.victimI, n.victimD = s.victimI.Clone(), s.victimD.Clone()
 	}
@@ -43,6 +49,8 @@ func (s *System) Fork() *System {
 // untouched. The window-sharded engine calls it on a fork after the
 // warmup windows so the counted windows start from clean counters on
 // warm state.
+//
+//simlint:statefull reset
 func (s *System) ResetStats() {
 	s.bw = Bandwidth{}
 	s.out = Outcome{}
@@ -77,6 +85,7 @@ func (s *System) ResetStats() {
 // outcome are not touched; o is read-only.
 //
 //simlint:deterministic
+//simlint:statefull merge
 func (s *System) Merge(o *System) {
 	// Whole-ledger consolidation, not a transfer event: every block in
 	// o's ledger was posted to the traffic hook when the chunk booked
@@ -118,6 +127,8 @@ func (s *System) Merge(o *System) {
 // the caller's system carry both. o must have been merged into s
 // already (its counters are restored over the adopted components) and
 // must not be used afterwards.
+//
+//simlint:statefull adopt
 func (s *System) adoptState(o *System) {
 	li, ld := s.l1i.Stats(), s.l1d.Stats()
 	s.l1i, s.l1d = o.l1i, o.l1d

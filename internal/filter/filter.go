@@ -24,6 +24,8 @@ import (
 )
 
 // UnitStrideStats counts unit-stride filter behaviour.
+//
+//simlint:state counters
 type UnitStrideStats struct {
 	// Lookups is the number of stream misses presented.
 	Lookups uint64
@@ -52,6 +54,8 @@ type unitEntry struct {
 
 // UnitStride is the Section 6 filter: allocate a stream only after
 // misses to blocks i and i+1.
+//
+//simlint:state
 type UnitStride struct {
 	entries []unitEntry
 	clock   uint64
@@ -74,13 +78,19 @@ func (f *UnitStride) Size() int { return len(f.entries) }
 func (f *UnitStride) Stats() UnitStrideStats { return f.stats }
 
 // ResetStats clears the counters without disturbing the history.
+//
+//simlint:statefull reset
 func (f *UnitStride) ResetStats() { f.stats = UnitStrideStats{} }
 
 // SetStats overwrites the statistics wholesale; the window-sharded
 // replay engine restores accumulated counters onto adopted state.
+//
+//simlint:statefull adopt
 func (f *UnitStride) SetStats(s UnitStrideStats) { f.stats = s }
 
 // AddStats accumulates another filter's counters into this one.
+//
+//simlint:statefull merge
 func (f *UnitStride) AddStats(s UnitStrideStats) {
 	f.stats.Lookups += s.Lookups
 	f.stats.Hits += s.Hits
@@ -90,6 +100,8 @@ func (f *UnitStride) AddStats(s UnitStrideStats) {
 
 // Clone returns a deep copy of the filter; the clone evolves
 // independently of the original.
+//
+//simlint:statefull clone
 func (f *UnitStride) Clone() *UnitStride {
 	n := *f
 	n.entries = append([]unitEntry(nil), f.entries...)
@@ -177,6 +189,8 @@ type nonUnitEntry struct {
 }
 
 // NonUnitStrideStats counts non-unit-stride filter behaviour.
+//
+//simlint:state counters
 type NonUnitStrideStats struct {
 	// Observations is the number of references presented.
 	Observations uint64
@@ -191,6 +205,8 @@ type NonUnitStrideStats struct {
 }
 
 // NonUnitStride is the Section 7 czone-partitioned stride detector.
+//
+//simlint:state
 type NonUnitStride struct {
 	entries   []nonUnitEntry
 	czoneBits uint
@@ -244,13 +260,19 @@ func (f *NonUnitStride) SetCzoneBits(bits uint) error {
 func (f *NonUnitStride) Stats() NonUnitStrideStats { return f.stats }
 
 // ResetStats clears the counters without disturbing the partitions.
+//
+//simlint:statefull reset
 func (f *NonUnitStride) ResetStats() { f.stats = NonUnitStrideStats{} }
 
 // SetStats overwrites the statistics wholesale; the window-sharded
 // replay engine restores accumulated counters onto adopted state.
+//
+//simlint:statefull adopt
 func (f *NonUnitStride) SetStats(s NonUnitStrideStats) { f.stats = s }
 
 // AddStats accumulates another detector's counters into this one.
+//
+//simlint:statefull merge
 func (f *NonUnitStride) AddStats(s NonUnitStrideStats) {
 	f.stats.Observations += s.Observations
 	f.stats.Allocations += s.Allocations
@@ -261,6 +283,8 @@ func (f *NonUnitStride) AddStats(s NonUnitStrideStats) {
 
 // Clone returns a deep copy of the detector; the clone evolves
 // independently of the original.
+//
+//simlint:statefull clone
 func (f *NonUnitStride) Clone() *NonUnitStride {
 	n := *f
 	n.entries = append([]nonUnitEntry(nil), f.entries...)
@@ -354,6 +378,8 @@ func (f *NonUnitStride) Reset() {
 }
 
 // MinDeltaStats counts minimum-delta scheme behaviour.
+//
+//simlint:state counters
 type MinDeltaStats struct {
 	// Observations is the number of references presented.
 	Observations uint64
@@ -366,6 +392,8 @@ type MinDeltaStats struct {
 // and any entry becomes the stride. The paper found its performance
 // similar to the partition scheme but its hardware (N subtractions and
 // a minimum reduction per miss) less attractive.
+//
+//simlint:state
 type MinDelta struct {
 	history  []mem.Addr
 	valid    []bool
@@ -395,13 +423,19 @@ func NewMinDelta(size int, maxDelta int64) (*MinDelta, error) {
 func (f *MinDelta) Stats() MinDeltaStats { return f.stats }
 
 // ResetStats clears the counters without disturbing the history.
+//
+//simlint:statefull reset
 func (f *MinDelta) ResetStats() { f.stats = MinDeltaStats{} }
 
 // SetStats overwrites the statistics wholesale; the window-sharded
 // replay engine restores accumulated counters onto adopted state.
+//
+//simlint:statefull adopt
 func (f *MinDelta) SetStats(s MinDeltaStats) { f.stats = s }
 
 // AddStats accumulates another scheme's counters into this one.
+//
+//simlint:statefull merge
 func (f *MinDelta) AddStats(s MinDeltaStats) {
 	f.stats.Observations += s.Observations
 	f.stats.Allocations += s.Allocations
@@ -409,6 +443,8 @@ func (f *MinDelta) AddStats(s MinDeltaStats) {
 
 // Clone returns a deep copy of the scheme; the clone evolves
 // independently of the original.
+//
+//simlint:statefull clone
 func (f *MinDelta) Clone() *MinDelta {
 	n := *f
 	n.history = append([]mem.Addr(nil), f.history...)

@@ -53,6 +53,8 @@ func EBWithFilterClosedForm(depth int, filterHits, cacheMisses uint64) float64 {
 
 // Histogram is a fixed-bucket histogram keyed by upper bounds. The
 // final bucket is unbounded.
+//
+//simlint:state counters
 type Histogram struct {
 	bounds []uint64 // ascending upper bounds (inclusive); last bucket open
 	counts []uint64
@@ -78,6 +80,37 @@ func (h *Histogram) Add(value, weight uint64) {
 	i := sort.Search(len(h.bounds), func(i int) bool { return value <= h.bounds[i] })
 	h.counts[i] += weight
 	h.total += weight
+}
+
+// Merge accumulates another histogram's weights into this one. The two
+// must have identical bucket bounds — a merge across shapes would
+// silently misattribute weight.
+//
+//simlint:statefull merge
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("stats: merging histograms with %d and %d bounds", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("stats: merging histograms with different bounds at %d", i)
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	return nil
+}
+
+// Clone returns an independent deep copy of the histogram.
+//
+//simlint:statefull clone
+func (h *Histogram) Clone() *Histogram {
+	n := *h
+	n.bounds = append([]uint64(nil), h.bounds...)
+	n.counts = append([]uint64(nil), h.counts...)
+	return &n
 }
 
 // Counts returns a copy of the bucket weights.
@@ -113,6 +146,8 @@ func (h *Histogram) Labels() []string {
 }
 
 // Mean accumulates a running mean without storing samples.
+//
+//simlint:state counters
 type Mean struct {
 	n   uint64
 	sum float64
@@ -120,6 +155,11 @@ type Mean struct {
 
 // Add records one sample.
 func (m *Mean) Add(v float64) { m.n++; m.sum += v }
+
+// Merge folds another accumulator's samples into this one.
+//
+//simlint:statefull merge
+func (m *Mean) Merge(o *Mean) { m.n += o.n; m.sum += o.sum }
 
 // N returns the sample count.
 func (m *Mean) N() uint64 { return m.n }

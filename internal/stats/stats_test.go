@@ -150,3 +150,78 @@ func TestHistogramConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(10, 100)
+	b, _ := NewHistogram(10, 100)
+	a.Add(5, 2)
+	a.Add(50, 3)
+	b.Add(5, 1)
+	b.Add(500, 4)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 3, 4}
+	got := a.Counts()
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], w)
+		}
+	}
+	if a.Total() != 10 {
+		t.Errorf("Total = %d, want 10", a.Total())
+	}
+	// The source is untouched.
+	if b.Total() != 5 {
+		t.Errorf("merge mutated its argument: Total = %d, want 5", b.Total())
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a, _ := NewHistogram(10, 100)
+	short, _ := NewHistogram(10)
+	if err := a.Merge(short); err == nil {
+		t.Error("merging histograms with different bucket counts should fail")
+	}
+	skewed, _ := NewHistogram(10, 200)
+	if err := a.Merge(skewed); err == nil {
+		t.Error("merging histograms with different bounds should fail")
+	}
+	// A failed merge must not have partially applied.
+	if a.Total() != 0 {
+		t.Errorf("failed merge left Total = %d, want 0", a.Total())
+	}
+}
+
+func TestHistogramCloneIndependent(t *testing.T) {
+	h, _ := NewHistogram(10, 100)
+	h.Add(5, 1)
+	c := h.Clone()
+	c.Add(50, 7)
+	if h.Total() != 1 {
+		t.Errorf("clone's Add leaked into original: Total = %d, want 1", h.Total())
+	}
+	if c.Total() != 8 {
+		t.Errorf("clone Total = %d, want 8", c.Total())
+	}
+	if got := h.Counts(); got[1] != 0 {
+		t.Errorf("clone's Add leaked into original bucket: %v", got)
+	}
+}
+
+func TestMeanMerge(t *testing.T) {
+	var a, b Mean
+	a.Add(1)
+	a.Add(3)
+	b.Add(5)
+	a.Merge(&b)
+	if a.N() != 3 {
+		t.Errorf("N = %d, want 3", a.N())
+	}
+	if got := a.Value(); got != 3 {
+		t.Errorf("Value = %v, want 3", got)
+	}
+	if b.N() != 1 {
+		t.Errorf("merge mutated its argument: N = %d, want 1", b.N())
+	}
+}

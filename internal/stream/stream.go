@@ -28,6 +28,8 @@ type slot struct {
 
 // Buffer is a single stream buffer: a FIFO of prefetched blocks plus
 // the address-generation state (next word address and word stride).
+//
+//simlint:state
 type Buffer struct {
 	geom       mem.Geometry
 	depth      int
@@ -200,6 +202,8 @@ func (b *Buffer) invalidate(blk mem.Addr) int {
 // length of the stream (number of hits served between allocation and
 // reallocation) they belonged to, in buckets 1-5, 6-10, 11-15, 16-20
 // and >20.
+//
+//simlint:state counters
 type LengthDist struct {
 	// Buckets holds hits attributed per bucket.
 	Buckets [5]uint64
@@ -262,6 +266,8 @@ func BucketLabels() [5]string {
 }
 
 // Stats accumulates the observable behaviour of a stream set.
+//
+//simlint:state counters
 type Stats struct {
 	// Probes is the number of on-chip misses presented to the set.
 	Probes uint64
@@ -287,6 +293,8 @@ type Stats struct {
 
 // Add returns the element-wise sum of two Stats (used to merge
 // partitioned instruction and data stream sets).
+//
+//simlint:statefull merge
 func (s Stats) Add(o Stats) Stats {
 	s.Probes += o.Probes
 	s.Hits += o.Hits
@@ -320,6 +328,8 @@ func (s Stats) HitRate() float64 {
 // chase through every buffer's FIFO; headUnknown marks buffers whose
 // head needs the slow path (empty, inactive, or dirtied by a
 // write-back invalidation).
+//
+//simlint:state
 type Set struct {
 	geom    mem.Geometry
 	bufs    []*Buffer
@@ -408,19 +418,27 @@ func (s *Set) Streams() int { return len(s.bufs) }
 func (s *Set) Stats() Stats { return s.stats }
 
 // ResetStats clears counters without disturbing stream contents.
+//
+//simlint:statefull reset
 func (s *Set) ResetStats() { s.stats = Stats{} }
 
 // AddStats accumulates another set's counters into this one (the
 // window-sharded replay engine merges per-chunk deltas this way).
+//
+//simlint:statefull merge
 func (s *Set) AddStats(o Stats) { s.stats = s.stats.Add(o) }
 
 // SetStats overwrites the statistics wholesale; the window-sharded
 // replay engine restores a caller's accumulated counters onto an
 // adopted final-chunk state with it.
+//
+//simlint:statefull adopt
 func (s *Set) SetStats(o Stats) { s.stats = o }
 
 // clone returns a deep copy of one buffer: same geometry and policy,
 // fresh FIFO storage, identical allocation state and clocks.
+//
+//simlint:statefull clone
 func (b *Buffer) clone() *Buffer {
 	n := *b
 	n.fifo = append([]slot(nil), b.fifo...)
@@ -432,6 +450,8 @@ func (b *Buffer) clone() *Buffer {
 // and the statistics. The clone evolves independently of the original.
 // The OnPrefetch hook, if any, is shared with the original: callers
 // that clone for concurrent replay must not configure one.
+//
+//simlint:statefull clone
 func (s *Set) Clone() *Set {
 	n := *s
 	n.bufs = make([]*Buffer, len(s.bufs))

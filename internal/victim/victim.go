@@ -26,6 +26,8 @@ type entry struct {
 }
 
 // Stats counts victim cache behaviour.
+//
+//simlint:state counters
 type Stats struct {
 	// Probes is the number of L1 misses presented.
 	Probes uint64
@@ -48,6 +50,8 @@ func (s Stats) HitRate() float64 {
 // Cache is a small fully-associative victim buffer. Jouppi found one
 // to four entries recover most direct-mapped conflict misses; eight is
 // a generous default. It is not safe for concurrent use.
+//
+//simlint:state
 type Cache struct {
 	entries []entry
 	clock   uint64
@@ -69,13 +73,19 @@ func (c *Cache) Size() int { return len(c.entries) }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats clears the counters without disturbing the entries.
+//
+//simlint:statefull reset
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // SetStats overwrites the statistics wholesale; the window-sharded
 // replay engine restores accumulated counters onto adopted state.
+//
+//simlint:statefull adopt
 func (c *Cache) SetStats(s Stats) { c.stats = s }
 
 // AddStats accumulates another victim cache's counters into this one.
+//
+//simlint:statefull merge
 func (c *Cache) AddStats(s Stats) {
 	c.stats.Probes += s.Probes
 	c.stats.Hits += s.Hits
@@ -85,6 +95,8 @@ func (c *Cache) AddStats(s Stats) {
 
 // Clone returns a deep copy of the victim cache; the clone evolves
 // independently of the original.
+//
+//simlint:statefull clone
 func (c *Cache) Clone() *Cache {
 	n := *c
 	n.entries = append([]entry(nil), c.entries...)
